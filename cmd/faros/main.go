@@ -1,0 +1,137 @@
+// Command faros is the analyst CLI: run a built-in scenario through the
+// record-then-replay workflow and print the FAROS report alongside the
+// baseline tools' views (§V.C usage scenario).
+//
+// Usage:
+//
+//	faros -list                          # list scenarios
+//	faros -scenario reflective_dll_inject
+//	faros -scenario process_hollowing -cuckoo -malfind
+//	faros -scenario darkcomet -save run.log -json report.json
+//	faros -file my_attack.json           # bring-your-own-shellcode scenario
+//	faros -scenario evasion_hardcoded_stubs -strict
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"faros"
+	"faros/internal/core"
+	"faros/internal/samples"
+	"faros/internal/scenario"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	name := flag.String("scenario", "", "scenario to analyze")
+	file := flag.String("file", "", "load a custom scenario description (JSON, see samples.ScenarioFile)")
+	list := flag.Bool("list", false, "list scenario names")
+	withCuckoo := flag.Bool("cuckoo", false, "also print the Cuckoo-style report")
+	withMalfind := flag.Bool("malfind", false, "also print the malfind snapshot report")
+	save := flag.String("save", "", "save the recorded nondeterminism log to this file")
+	addrDeps := flag.Bool("addr-deps", false, "propagate address dependencies (overtainting ablation)")
+	strict := flag.Bool("strict", false, "enable the StrictExecCheck policy extension")
+	jsonOut := flag.String("json", "", "write the findings as JSON to this file")
+	dotOut := flag.String("dot", "", "write the first finding's provenance graph (Graphviz) to this file")
+	flag.Parse()
+
+	specs := faros.Scenarios()
+	if *list {
+		for _, n := range faros.ScenarioNames() {
+			fmt.Println(n)
+		}
+		return 0
+	}
+	var spec faros.Spec
+	if *file != "" {
+		loaded, err := samples.LoadScenarioFile(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faros: %v\n", err)
+			return 1
+		}
+		spec = loaded
+	} else {
+		loaded, ok := specs[*name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "faros: unknown scenario %q (use -list)\n", *name)
+			return 1
+		}
+		spec = loaded
+	}
+
+	fmt.Printf("recording scenario %s...\n", spec.Name)
+	log, rec, err := scenario.Record(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faros: record: %v\n", err)
+		return 1
+	}
+	fmt.Printf("recorded %d events over %d instructions (%v wall)\n",
+		len(log.Events), rec.Summary.Instructions, rec.WallTime)
+	if *save != "" {
+		raw, err := log.Marshal()
+		if err == nil {
+			err = os.WriteFile(*save, raw, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faros: save log: %v\n", err)
+			return 1
+		}
+		fmt.Printf("log saved to %s (%d bytes)\n", *save, len(raw))
+	}
+
+	fmt.Println("replaying with FAROS taint analysis...")
+	res, err := scenario.Replay(spec, log, scenario.Plugins{
+		Faros:   &core.Config{PropagateAddrDeps: *addrDeps, StrictExecCheck: *strict},
+		Cuckoo:  *withCuckoo,
+		Malfind: *withMalfind,
+		OSI:     true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faros: replay: %v\n", err)
+		return 1
+	}
+	fmt.Printf("replay finished: %d instructions (%v wall)\n\n", res.Summary.Instructions, res.WallTime)
+	fmt.Print(res.Faros.Report())
+	if res.Flagged() {
+		fmt.Println()
+		fmt.Print(res.Faros.TableII())
+	}
+	st := res.Faros.Stats()
+	fmt.Printf("\ntaint stats: %d tainted bytes, %d lists, %d export-table reads checked\n",
+		st.Taint.TaintedBytes, st.Taint.ListsInterned, st.ExportReads)
+
+	if *jsonOut != "" {
+		raw, err := res.Faros.JSON()
+		if err == nil {
+			err = os.WriteFile(*jsonOut, raw, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faros: json: %v\n", err)
+			return 1
+		}
+		fmt.Printf("JSON report written to %s\n", *jsonOut)
+	}
+	if *dotOut != "" && res.Flagged() {
+		dot := res.Faros.DOT(res.Faros.Findings()[0])
+		if err := os.WriteFile(*dotOut, []byte(dot), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "faros: dot: %v\n", err)
+			return 1
+		}
+		fmt.Printf("provenance graph written to %s\n", *dotOut)
+	}
+
+	if *withCuckoo && res.Cuckoo != nil {
+		fmt.Println()
+		fmt.Print(res.Cuckoo.String())
+	}
+	if *withMalfind && res.Malfind != nil {
+		fmt.Println()
+		fmt.Print(res.Malfind.String())
+	}
+	return 0
+}

@@ -1,0 +1,75 @@
+// Command farosasm assembles and disassembles FAROS-32 machine code, the
+// toolchain a payload author (or analyst) uses outside the Go API.
+//
+//	farosasm -o payload.bin shellcode.s      # assemble
+//	farosasm -d payload.bin                  # disassemble
+//	farosasm -d payload.bin -base 0x10000000 # with a load address
+//	echo 'MOV EAX, 5' | farosasm -o -        # stdin → stdout (hex)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"faros/internal/isa"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	out := flag.String("o", "", "assemble: output file ('-' prints hex to stdout)")
+	disasm := flag.Bool("d", false, "disassemble the input file")
+	base := flag.Uint("base", 0, "load address for assembly fixups / disassembly display")
+	flag.Parse()
+
+	input := flag.Arg(0)
+	var data []byte
+	var err error
+	switch {
+	case input == "" || input == "-":
+		data, err = io.ReadAll(os.Stdin)
+	default:
+		data, err = os.ReadFile(input)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "farosasm: read: %v\n", err)
+		return 1
+	}
+
+	if *disasm {
+		fmt.Print(isa.DisasmBytes(data, uint32(*base)))
+		return 0
+	}
+
+	block, err := isa.Parse(string(data))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "farosasm: %v\n", err)
+		return 1
+	}
+	code, err := block.Assemble(uint32(*base))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "farosasm: %v\n", err)
+		return 1
+	}
+	switch *out {
+	case "", "-":
+		for i, b := range code {
+			if i > 0 && i%isa.InstrSize == 0 {
+				fmt.Println()
+			}
+			fmt.Printf("%02x ", b)
+		}
+		fmt.Println()
+	default:
+		if err := os.WriteFile(*out, code, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "farosasm: write: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "farosasm: wrote %d bytes to %s\n", len(code), *out)
+	}
+	return 0
+}

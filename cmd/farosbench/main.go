@@ -1,0 +1,48 @@
+// Command farosbench regenerates the paper's evaluation: every table and
+// figure of §VI plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	farosbench                 # run every experiment
+//	farosbench -exp table3     # run one experiment
+//	farosbench -list           # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"faros/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	exp := flag.String("exp", "", "experiment to run (default: all)")
+	list := flag.Bool("list", false, "list experiment names")
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return 0
+	}
+
+	names := experiments.Names()
+	if *exp != "" {
+		names = []string{*exp}
+	}
+	for _, name := range names {
+		out, err := experiments.Run(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "farosbench: %s: %v\n", name, err)
+			return 1
+		}
+		fmt.Printf("==== %s ====\n%s\n", name, out)
+	}
+	return 0
+}

@@ -1,0 +1,35 @@
+; Bring-your-own shellcode for the scenario file next to this source.
+; Classic reflective-loader behaviour: walk the kernel export table to
+; resolve MessageBoxA by the FNV-32a hash of its name, call it, exit.
+;
+; Analyze it with:
+;   go run ./cmd/faros -file examples/scenario_files/custom_attack.json
+entry:
+  MOV ECX, 0x7FF00000      ; kernel export table
+  LD  EDX, [ECX]           ; entry count          <-- export-table read
+  MOV ESI, 0
+scan:
+  CMP ESI, EDX
+  JGE fail
+  MOV EAX, ESI
+  SHL EAX, 3
+  ADD EAX, ECX
+  LD  EDI, [EAX+4]         ; candidate name hash  <-- export-table read
+  MOV EBP, 0x23A979E4      ; HashName("MessageBoxA") (FNV-32a)
+  CMP EDI, EBP
+  JZ  found
+  ADD ESI, 1
+  JMP scan
+found:
+  LD  EDI, [EAX+8]         ; resolved address     <-- export-table read
+  CALL here
+here:
+  POP EBX                  ; EBX = address of the POP
+  ADD EBX, 48              ; six instructions to "msg"
+  CALL EDI                 ; MessageBoxA(msg)
+fail:
+  MOV EBX, 0
+  MOV EDI, 0x7FE00000      ; ExitProcess stub
+  CALL EDI
+msg:
+  .ascii "hello from user shellcode"

@@ -1,0 +1,60 @@
+package faros_test
+
+import (
+	"strings"
+	"testing"
+
+	"faros"
+)
+
+func TestScenarioCatalog(t *testing.T) {
+	names := faros.ScenarioNames()
+	// 6 attacks + 1 transient + 2 evasions + 20 JIT + 14 benign + 90 corpus.
+	if len(names) != 133 {
+		t.Fatalf("catalog size = %d, want 133", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names unsorted or duplicated at %d: %q %q", i, names[i-1], names[i])
+		}
+	}
+	m := faros.Scenarios()
+	for _, want := range []string{"reflective_dll_inject", "process_hollowing", "darkcomet", "jit_gmail_com"} {
+		if _, ok := m[want]; !ok {
+			t.Errorf("scenario %q missing", want)
+		}
+	}
+	if len(faros.Attacks()) != 6 {
+		t.Error("six attacks expected")
+	}
+}
+
+func TestAnalyzeFacade(t *testing.T) {
+	res, err := faros.Analyze(faros.Scenarios()["reverse_tcp_dns"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flagged() {
+		t.Fatal("attack not flagged through facade")
+	}
+	if res.Faros.Findings()[0].Rule != faros.RuleNetflowExport {
+		t.Errorf("rule = %s", res.Faros.Findings()[0].Rule)
+	}
+	if !strings.Contains(res.Faros.Report(), "NetFlow") {
+		t.Error("report missing netflow")
+	}
+	if res.Cuckoo == nil || res.Malfind == nil {
+		t.Error("Analyze must attach all three tools")
+	}
+}
+
+func TestAnalyzeWithCustomConfig(t *testing.T) {
+	res, err := faros.AnalyzeWith(faros.Scenarios()["process_hollowing"],
+		faros.Config{DisableForeignCodeRule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flagged() {
+		t.Error("hollowing flagged with its rule disabled")
+	}
+}

@@ -1,0 +1,3 @@
+module faros
+
+go 1.22

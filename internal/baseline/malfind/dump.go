@@ -1,0 +1,102 @@
+package malfind
+
+import (
+	"fmt"
+	"strings"
+
+	"faros/internal/guest"
+	"faros/internal/mem"
+	"faros/internal/peimg"
+)
+
+// Volatility-style extraction commands beyond the malfind scan: vaddump
+// (extract a region's bytes from the snapshot) and procdump (carve a
+// process's main image back out of memory). Analysts use these to recover
+// injected payloads once malfind locates them.
+
+// VADDump extracts the memory of the VAD containing va in process pid.
+func VADDump(k *guest.Kernel, pid, va uint32) ([]byte, guest.VAD, error) {
+	p, ok := k.Process(pid)
+	if !ok {
+		return nil, guest.VAD{}, fmt.Errorf("malfind: no process %d", pid)
+	}
+	vad, ok := p.FindVAD(va)
+	if !ok {
+		return nil, guest.VAD{}, fmt.Errorf("malfind: no VAD containing 0x%08X in pid %d", va, pid)
+	}
+	out := make([]byte, 0, vad.Size)
+	for off := uint32(0); off < vad.Size; off++ {
+		b, err := p.Space.ReadByteAt(vad.Base+off, mem.AccessRead)
+		if err != nil {
+			// Partially unmapped region (hollowed): stop at the hole.
+			break
+		}
+		out = append(out, b)
+	}
+	return out, vad, nil
+}
+
+// ProcDump reconstructs the main image of a process from its image VADs,
+// as Volatility's procdump rebuilds a PE from memory. Hollowed processes
+// yield an error: their image regions are gone — itself a finding.
+func ProcDump(k *guest.Kernel, pid uint32) (*peimg.Image, error) {
+	p, ok := k.Process(pid)
+	if !ok {
+		return nil, fmt.Errorf("malfind: no process %d", pid)
+	}
+	if p.Img == nil {
+		return nil, fmt.Errorf("malfind: pid %d has no image metadata", pid)
+	}
+	img := &peimg.Image{Name: p.Img.Name + " (carved)", Base: p.Img.Base, Entry: p.Img.Entry}
+	found := false
+	for _, vad := range p.VADs {
+		if vad.Kind != guest.VADImage {
+			continue
+		}
+		if !p.Space.IsMapped(vad.Base) {
+			continue // unmapped by hollowing
+		}
+		data := make([]byte, 0, vad.Size)
+		for off := uint32(0); off < vad.Size; off++ {
+			b, err := p.Space.ReadByteAt(vad.Base+off, mem.AccessRead)
+			if err != nil {
+				break
+			}
+			data = append(data, b)
+		}
+		perm, _ := p.Space.PermOf(vad.Base)
+		img.Sections = append(img.Sections, peimg.Section{
+			Name: fmt.Sprintf(".carved_%08x", vad.Base),
+			VA:   vad.Base - img.Base,
+			Perm: perm,
+			Data: data,
+		})
+		found = true
+	}
+	if !found {
+		return nil, fmt.Errorf("malfind: pid %d (%s): no image regions mapped — hollowed?", pid, p.Name)
+	}
+	return img, nil
+}
+
+// StringsIn extracts printable ASCII runs of at least minLen from a dump,
+// the classic triage step over carved payloads.
+func StringsIn(data []byte, minLen int) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() >= minLen {
+			out = append(out, cur.String())
+		}
+		cur.Reset()
+	}
+	for _, b := range data {
+		if b >= 0x20 && b < 0x7F {
+			cur.WriteByte(b)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,98 @@
+package malfind
+
+import (
+	"strings"
+	"testing"
+
+	"faros/internal/guest"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+)
+
+func TestVADDumpRecoversInjectedPayload(t *testing.T) {
+	k, err := guest.NewKernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spawnIdle(t, k, "victim.exe")
+	payload := isa.NewBlock().Movi(isa.EAX, 0xABCD).Ret().MustAssemble(0)
+	base := plantRWX(t, k, p, payload)
+
+	data, vad, err := VADDump(k, p.PID, base+4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vad.Base != base || len(data) < len(payload) {
+		t.Fatalf("vad=%+v len=%d", vad, len(data))
+	}
+	if string(data[:len(payload)]) != string(payload) {
+		t.Error("dumped bytes differ from payload")
+	}
+	if _, _, err := VADDump(k, p.PID, 0x99990000); err == nil {
+		t.Error("dump of unmapped va accepted")
+	}
+	if _, _, err := VADDump(k, 9999, base); err == nil {
+		t.Error("dump of unknown pid accepted")
+	}
+}
+
+func TestProcDumpCarvesImage(t *testing.T) {
+	k, err := guest.NewKernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spawnIdle(t, k, "intact.exe")
+	img, err := ProcDump(k, p.PID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Sections) == 0 || !strings.Contains(img.Name, "carved") {
+		t.Errorf("carved image = %+v", img)
+	}
+	// The carved text must contain valid code.
+	var text []byte
+	for _, s := range img.Sections {
+		if s.VA == peimg.TextOff {
+			text = s.Data
+		}
+	}
+	if text == nil || !isa.LooksLikeCode(text, 2) {
+		t.Error("carved text not code")
+	}
+	if _, err := ProcDump(k, 4242); err == nil {
+		t.Error("procdump of unknown pid accepted")
+	}
+}
+
+func TestProcDumpDetectsHollowedProcess(t *testing.T) {
+	k, err := guest.NewKernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spawnIdle(t, k, "hollowme.exe")
+	// Simulate NtUnmapViewOfSection of the whole image.
+	for _, v := range p.VADs {
+		if v.Kind == guest.VADImage {
+			p.Space.Unmap(v.Base, int(v.Size)/4096)
+		}
+	}
+	if _, err := ProcDump(k, p.PID); err == nil || !strings.Contains(err.Error(), "hollowed") {
+		t.Errorf("hollowed procdump = %v", err)
+	}
+}
+
+func TestStringsIn(t *testing.T) {
+	data := append([]byte{0, 1, 2}, []byte("hello world")...)
+	data = append(data, 0xFF, 'h', 'i', 0, 'x')
+	got := StringsIn(data, 4)
+	if len(got) != 1 || got[0] != "hello world" {
+		t.Errorf("strings = %v", got)
+	}
+	got = StringsIn(data, 2)
+	if len(got) != 2 || got[1] != "hi" {
+		t.Errorf("strings = %v", got)
+	}
+	if StringsIn(nil, 1) != nil {
+		t.Error("empty input")
+	}
+}

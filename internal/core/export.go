@@ -1,0 +1,168 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"faros/internal/taint"
+)
+
+// The paper's §V.C: "FAROS will generate an output file indicating whether
+// there are any in-memory injection attacks" with addresses and provenance
+// lists. This file implements the machine-readable exports: a JSON report
+// for downstream tooling and a Graphviz DOT rendering of provenance chains
+// (the paper draws them as Figures 7–10).
+
+// JSONTag is one provenance tag in the export.
+type JSONTag struct {
+	Type string `json:"type"`
+	// Detail carries the type-specific fields.
+	Netflow *taint.NetflowTag `json:"netflow,omitempty"`
+	Process *struct {
+		CR3  uint32 `json:"cr3"`
+		PID  uint32 `json:"pid"`
+		Name string `json:"name"`
+	} `json:"process,omitempty"`
+	File *struct {
+		Name    string `json:"name"`
+		Version uint32 `json:"version"`
+	} `json:"file,omitempty"`
+}
+
+// JSONFinding is one finding in the export.
+type JSONFinding struct {
+	Rule        string    `json:"rule"`
+	At          uint64    `json:"instr_count"`
+	PID         uint32    `json:"pid"`
+	Process     string    `json:"process"`
+	InstrAddr   string    `json:"instr_addr"`
+	Disasm      string    `json:"disasm"`
+	TargetAddr  string    `json:"target_addr,omitempty"`
+	ResolvedAPI string    `json:"resolving_api,omitempty"`
+	Provenance  []JSONTag `json:"provenance"`
+	Rendered    string    `json:"provenance_text"`
+}
+
+// JSONReport is the full export.
+type JSONReport struct {
+	Flagged  bool          `json:"flagged"`
+	Findings []JSONFinding `json:"findings"`
+	Stats    struct {
+		Instructions  uint64 `json:"instructions"`
+		TaintedBytes  int    `json:"tainted_bytes"`
+		LoadsChecked  uint64 `json:"loads_checked"`
+		ExportReads   uint64 `json:"export_table_reads"`
+		ListsInterned int    `json:"provenance_lists"`
+	} `json:"stats"`
+}
+
+// jsonTags converts a provenance list (chronological order, oldest first).
+func (f *FAROS) jsonTags(id taint.ProvID) []JSONTag {
+	tags := f.T.Tags(id)
+	out := make([]JSONTag, 0, len(tags))
+	for i := len(tags) - 1; i >= 0; i-- {
+		tg := tags[i]
+		jt := JSONTag{Type: tg.Type.String()}
+		switch tg.Type {
+		case taint.TagNetflow:
+			if nf, ok := f.T.Netflow(tg.Index); ok {
+				nfCopy := nf
+				jt.Netflow = &nfCopy
+			}
+		case taint.TagProcess:
+			if pt, ok := f.T.Process(tg.Index); ok {
+				jt.Process = &struct {
+					CR3  uint32 `json:"cr3"`
+					PID  uint32 `json:"pid"`
+					Name string `json:"name"`
+				}{pt.CR3, pt.PID, pt.Name}
+			}
+		case taint.TagFile:
+			if ft, ok := f.T.File(tg.Index); ok {
+				jt.File = &struct {
+					Name    string `json:"name"`
+					Version uint32 `json:"version"`
+				}{ft.Name, ft.Version}
+			}
+		}
+		out = append(out, jt)
+	}
+	return out
+}
+
+// JSON serializes the engine's findings and stats.
+func (f *FAROS) JSON() ([]byte, error) {
+	rep := JSONReport{Flagged: f.Flagged(), Findings: []JSONFinding{}}
+	for _, fd := range f.findings {
+		jf := JSONFinding{
+			Rule:        fd.Rule,
+			At:          fd.At,
+			PID:         fd.PID,
+			Process:     fd.ProcName,
+			InstrAddr:   fmt.Sprintf("0x%08X", fd.InstrAddr),
+			Disasm:      fd.Disasm,
+			ResolvedAPI: fd.ResolvedAPI,
+			Provenance:  f.jsonTags(fd.InstrProv),
+			Rendered:    f.T.Render(fd.InstrProv),
+		}
+		if fd.Rule != RuleForeignCodeExec {
+			jf.TargetAddr = fmt.Sprintf("0x%08X", fd.TargetAddr)
+		}
+		rep.Findings = append(rep.Findings, jf)
+	}
+	st := f.Stats()
+	rep.Stats.Instructions = st.Instructions
+	rep.Stats.TaintedBytes = st.Taint.TaintedBytes
+	rep.Stats.LoadsChecked = st.LoadsChecked
+	rep.Stats.ExportReads = st.ExportReads
+	rep.Stats.ListsInterned = st.Taint.ListsInterned
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// dotEscape quotes a label for DOT.
+func dotEscape(s string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(s, `\`, `\\`), `"`, `\"`)
+}
+
+// DOT renders a finding's provenance chain as a Graphviz digraph in the
+// visual language of the paper's Figures 7–10: the chronological tag chain
+// feeding the flagged instruction, which reads the export-table-tagged
+// address.
+func (f *FAROS) DOT(fd Finding) string {
+	var sb strings.Builder
+	sb.WriteString("digraph provenance {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+
+	tags := f.T.Tags(fd.InstrProv)
+	prev := ""
+	for i := len(tags) - 1; i >= 0; i-- { // oldest first
+		id := fmt.Sprintf("tag%d", len(tags)-1-i)
+		label := dotEscape(f.T.TagString(tags[i]))
+		shape := "box"
+		if tags[i].Type == taint.TagNetflow {
+			shape = "ellipse"
+		}
+		fmt.Fprintf(&sb, "  %s [label=\"%s\", shape=%s];\n", id, label, shape)
+		if prev != "" {
+			fmt.Fprintf(&sb, "  %s -> %s;\n", prev, id)
+		}
+		prev = id
+	}
+
+	instr := fmt.Sprintf("instr [label=\"0x%08X: %s\", shape=component, style=bold];", fd.InstrAddr, dotEscape(fd.Disasm))
+	sb.WriteString("  " + instr + "\n")
+	if prev != "" {
+		fmt.Fprintf(&sb, "  %s -> instr [label=\"code bytes\"];\n", prev)
+	}
+	if fd.Rule != RuleForeignCodeExec {
+		target := fmt.Sprintf("target [label=\"0x%08X\\nExportTable", fd.TargetAddr)
+		if fd.ResolvedAPI != "" {
+			target += "\\n" + dotEscape(fd.ResolvedAPI)
+		}
+		target += "\", shape=cylinder];"
+		sb.WriteString("  " + target + "\n")
+		sb.WriteString("  instr -> target [label=\"reads\", style=dashed];\n")
+	}
+	fmt.Fprintf(&sb, "  label=\"%s in %s(%d)\";\n}\n", fd.Rule, dotEscape(fd.ProcName), fd.PID)
+	return sb.String()
+}

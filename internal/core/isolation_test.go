@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"faros/internal/guest/gnet"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+	"faros/internal/taint"
+)
+
+// TestShadowRegisterIsolationAcrossContextSwitches runs two processes that
+// interleave: one holds tainted data in registers across many context
+// switches; the other keeps registers untainted. Shadow register banks
+// must not bleed between CR3s.
+func TestShadowRegisterIsolationAcrossContextSwitches(t *testing.T) {
+	k, f := newKernelWithFAROS(t, Config{})
+	k.Net.AddEndpoint(attackerAddr, oneShotEndpoint{payload: []byte{0xEE, 0xDD, 0xCC, 0xBB}})
+
+	// holder.exe: loads tainted word into EAX, then yields repeatedly while
+	// keeping it live, finally stores it.
+	holder := peimg.NewBuilder("holder.exe")
+	holder.DataBlk.Label("ip").DataString(attackerAddr.IP)
+	src := holder.BSS(16)
+	dst := holder.BSS(16)
+	holder.CallImport("Socket")
+	holder.Text.Mov(isa.EBP, isa.EAX)
+	holder.Text.Mov(isa.EBX, isa.EBP)
+	holder.Text.Movi(isa.ECX, holder.MustDataVA("ip"))
+	holder.Text.Movi(isa.EDX, uint32(attackerAddr.Port))
+	holder.CallImport("Connect")
+	holder.Text.Mov(isa.EBX, isa.EBP)
+	holder.Text.Movi(isa.ECX, src)
+	holder.Text.Movi(isa.EDX, 4)
+	holder.CallImport("Recv")
+	holder.Text.Movi(isa.EBX, src)
+	holder.Text.Ld(isa.EBP, isa.EBX, 0) // EBP = tainted word, held across switches
+	for i := 0; i < 5; i++ {
+		holder.Text.Movi(isa.EBX, 100)
+		holder.CallImport("Sleep")
+	}
+	holder.Text.Movi(isa.EBX, dst)
+	holder.Text.St(isa.EBX, 0, isa.EBP)
+	holder.Text.Movi(isa.EBX, 0)
+	holder.CallImport("ExitProcess")
+	install(t, k, holder, "holder.exe")
+
+	// bystander.exe: same register usage pattern, no tainted input; stores
+	// EBP to its own buffer. Its stores must stay untainted.
+	bystander := peimg.NewBuilder("bystander.exe")
+	bdst := bystander.BSS(16)
+	bystander.Text.Movi(isa.EBP, 0x11111111)
+	for i := 0; i < 5; i++ {
+		bystander.Text.Movi(isa.EBX, 100)
+		bystander.CallImport("Sleep")
+	}
+	bystander.Text.Movi(isa.EBX, bdst)
+	bystander.Text.St(isa.EBX, 0, isa.EBP)
+	bystander.Text.Movi(isa.EBX, 0)
+	bystander.CallImport("ExitProcess")
+	install(t, k, bystander, "bystander.exe")
+
+	ph, err := k.Spawn("holder.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := k.Spawn("bystander.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	if id := provOfUserRange(f, ph, dst, 4); !f.T.Has(id, taint.TagNetflow) {
+		t.Errorf("holder lost register taint across switches: %s", f.T.Render(id))
+	}
+	if id := provOfUserRange(f, pb, bdst, 4); id != 0 {
+		t.Errorf("bystander picked up foreign taint: %s", f.T.Render(id))
+	}
+}
+
+// TestFlowsAreDistinguished verifies two simultaneous connections get
+// distinct netflow tags (per-connection provenance, not a global "network"
+// bit).
+func TestFlowsAreDistinguished(t *testing.T) {
+	k, f := newKernelWithFAROS(t, Config{})
+	epA := gnet.Addr{IP: "10.1.0.1", Port: 1111}
+	epB := gnet.Addr{IP: "10.2.0.2", Port: 2222}
+	k.Net.AddEndpoint(epA, oneShotEndpoint{payload: []byte("AAAA")})
+	k.Net.AddEndpoint(epB, oneShotEndpoint{payload: []byte("BBBB")})
+
+	b := peimg.NewBuilder("twoflows.exe")
+	b.DataBlk.Label("ipa").DataString(epA.IP)
+	b.DataBlk.Label("ipb").DataString(epB.IP)
+	bufA := b.BSS(16)
+	bufB := b.BSS(16)
+	connect := func(ipLabel string, port uint16, buf uint32) {
+		b.CallImport("Socket")
+		b.Text.Mov(isa.EBP, isa.EAX)
+		b.Text.Mov(isa.EBX, isa.EBP)
+		b.Text.Movi(isa.ECX, b.MustDataVA(ipLabel))
+		b.Text.Movi(isa.EDX, uint32(port))
+		b.CallImport("Connect")
+		b.Text.Mov(isa.EBX, isa.EBP)
+		b.Text.Movi(isa.ECX, buf)
+		b.Text.Movi(isa.EDX, 4)
+		b.CallImport("Recv")
+	}
+	connect("ipa", epA.Port, bufA)
+	connect("ipb", epB.Port, bufB)
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ExitProcess")
+	install(t, k, b, "twoflows.exe")
+	p, err := k.Spawn("twoflows.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	idA := provOfUserRange(f, p, bufA, 4)
+	idB := provOfUserRange(f, p, bufB, 4)
+	tagA, okA := f.T.FirstOfType(idA, taint.TagNetflow)
+	tagB, okB := f.T.FirstOfType(idB, taint.TagNetflow)
+	if !okA || !okB {
+		t.Fatalf("missing netflow tags: %s / %s", f.T.Render(idA), f.T.Render(idB))
+	}
+	if tagA == tagB {
+		t.Error("distinct flows share a netflow tag")
+	}
+	nfA, _ := f.T.Netflow(tagA.Index)
+	if nfA.SrcIP != epA.IP {
+		t.Errorf("flow A src = %s", nfA.SrcIP)
+	}
+}

@@ -1,0 +1,191 @@
+// Package guest implements WinMini, the miniature Windows-like guest
+// operating system that runs inside the whole-system VM.
+//
+// WinMini provides exactly the machinery the paper's attack classes and
+// detection mechanism depend on: processes with private address spaces
+// identified by CR3, an Nt-style syscall interface, a loader for MZ32
+// images with import/export resolution, a kernel export table mapped into
+// every process at a fixed address (the region FAROS tags with the
+// export-table tag), user-mode kernel stubs, a filesystem, and a network
+// stack driven by the record/replay event queue.
+package guest
+
+import "faros/internal/peimg"
+
+// Address-space layout. Low addresses are per-process; everything at or
+// above NtdllBase is backed by shared physical frames mapped into every
+// process, like the Windows kernel half.
+const (
+	// StackBase is the bottom of the user stack region.
+	StackBase uint32 = 0x00300000
+	// StackPages is the stack size in pages.
+	StackPages = 4
+	// StackTop is the initial stack pointer (minus a small safety pad).
+	StackTop uint32 = StackBase + StackPages*4096
+	// UserImageBase is where program images prefer to load.
+	UserImageBase = peimg.DefaultBase
+	// HeapBase is where per-process VirtualAlloc allocations begin.
+	HeapBase uint32 = 0x10000000
+	// NtdllBase hosts ntdll-mini: user-mode kernel library code
+	// (GetProcAddress, memcpy) that executes as guest instructions.
+	NtdllBase uint32 = 0x7FD00000
+	// StubBase hosts the API stubs (MOVI EAX, sysno; SYSCALL; RET).
+	StubBase uint32 = 0x7FE00000
+	// ExportTableBase hosts the kernel export table: the memory region
+	// "where linking and loading operations occur" that FAROS tags.
+	ExportTableBase uint32 = 0x7FF00000
+	// StubStride is the spacing of API stubs.
+	StubStride uint32 = 32
+)
+
+// Syscall numbers. The WinMini ABI: EAX holds the number, EBX/ECX/EDX/ESI
+// the arguments, and the result returns in EAX (0xFFFFFFFF on error).
+const (
+	SysExitProcess uint32 = iota + 1
+	SysDebugPrint
+	SysCreateFile
+	SysOpenFile
+	SysReadFile
+	SysWriteFile
+	SysDeleteFile
+	SysCloseHandle
+	SysSocket
+	SysConnect
+	SysSend
+	SysRecv
+	SysVirtualAlloc
+	SysVirtualProtect
+	SysVirtualFree
+	SysUnmapSection
+	SysOpenProcess
+	SysCreateProcess
+	SysSuspendProcess
+	SysResumeProcess
+	SysWriteVM
+	SysReadVM
+	SysSetThreadContext
+	SysCreateRemoteThread
+	SysSleep
+	SysYield
+	SysGetPID
+	SysFindProcess
+	SysReadKeyboard
+	SysReadScreen
+	SysReadAudio
+	SysLoadLibrary
+	SysMessageBox
+	SysGetTick
+	SysRegSet
+	SysRegGet
+	SysRegDelete
+
+	sysMax // sentinel
+)
+
+// ErrRet is the syscall error return value.
+const ErrRet uint32 = 0xFFFFFFFF
+
+// Process creation flags (SysCreateProcess ECX argument).
+const (
+	// CreateSuspended starts the child suspended, as process hollowing does.
+	CreateSuspended uint32 = 1
+)
+
+// APIDef binds an exported API name to its syscall number. The position in
+// the table fixes the stub address: StubBase + index*StubStride.
+type APIDef struct {
+	Name string
+	Sys  uint32
+}
+
+// apiTable lists every stub-backed kernel API, in stub order. The names
+// echo the Win32 APIs the paper's attacks resolve (LoadLibraryA,
+// GetProcAddress and VirtualAlloc are the three the reflective loader
+// needs; GetProcAddress is special-cased as ntdll guest code).
+func apiTable() []APIDef {
+	return []APIDef{
+		{"ExitProcess", SysExitProcess},
+		{"DebugPrint", SysDebugPrint},
+		{"CreateFileA", SysCreateFile},
+		{"OpenFileA", SysOpenFile},
+		{"ReadFile", SysReadFile},
+		{"WriteFile", SysWriteFile},
+		{"DeleteFileA", SysDeleteFile},
+		{"CloseHandle", SysCloseHandle},
+		{"Socket", SysSocket},
+		{"Connect", SysConnect},
+		{"Send", SysSend},
+		{"Recv", SysRecv},
+		{"VirtualAlloc", SysVirtualAlloc},
+		{"VirtualProtect", SysVirtualProtect},
+		{"VirtualFree", SysVirtualFree},
+		{"NtUnmapViewOfSection", SysUnmapSection},
+		{"OpenProcess", SysOpenProcess},
+		{"CreateProcessA", SysCreateProcess},
+		{"SuspendProcess", SysSuspendProcess},
+		{"ResumeProcess", SysResumeProcess},
+		{"WriteProcessMemory", SysWriteVM},
+		{"ReadProcessMemory", SysReadVM},
+		{"SetThreadContext", SysSetThreadContext},
+		{"CreateRemoteThread", SysCreateRemoteThread},
+		{"Sleep", SysSleep},
+		{"YieldProcessor", SysYield},
+		{"GetCurrentProcessId", SysGetPID},
+		{"FindProcessA", SysFindProcess},
+		{"ReadKeyboard", SysReadKeyboard},
+		{"ReadScreen", SysReadScreen},
+		{"ReadAudio", SysReadAudio},
+		{"LoadLibraryA", SysLoadLibrary},
+		{"MessageBoxA", SysMessageBox},
+		{"GetTickCount", SysGetTick},
+		{"RegSetValueA", SysRegSet},
+		{"RegQueryValueA", SysRegGet},
+		{"RegDeleteValueA", SysRegDelete},
+	}
+}
+
+// StubVA returns the stub address of the i-th API table entry.
+func StubVA(i int) uint32 { return StubBase + uint32(i)*StubStride }
+
+// StubAddrOf returns the fixed stub address of a named API. Evasive
+// payloads hardcode these addresses to avoid reading the export table —
+// the §VI.D evasion the StrictExecCheck policy extension answers.
+func StubAddrOf(name string) (uint32, bool) {
+	for i, api := range apiTable() {
+		if api.Name == name {
+			return StubVA(i), true
+		}
+	}
+	return 0, false
+}
+
+// syscallNames maps numbers to names for traces and reports.
+var syscallNames = map[uint32]string{
+	SysExitProcess: "NtExitProcess", SysDebugPrint: "NtDebugPrint",
+	SysCreateFile: "NtCreateFile", SysOpenFile: "NtOpenFile",
+	SysReadFile: "NtReadFile", SysWriteFile: "NtWriteFile",
+	SysDeleteFile: "NtDeleteFile", SysCloseHandle: "NtClose",
+	SysSocket: "NtSocket", SysConnect: "NtConnect",
+	SysSend: "NtSend", SysRecv: "NtRecv",
+	SysVirtualAlloc: "NtAllocateVirtualMemory", SysVirtualProtect: "NtProtectVirtualMemory",
+	SysVirtualFree: "NtFreeVirtualMemory", SysUnmapSection: "NtUnmapViewOfSection",
+	SysOpenProcess: "NtOpenProcess", SysCreateProcess: "NtCreateProcess",
+	SysSuspendProcess: "NtSuspendProcess", SysResumeProcess: "NtResumeProcess",
+	SysWriteVM: "NtWriteVirtualMemory", SysReadVM: "NtReadVirtualMemory",
+	SysSetThreadContext: "NtSetContextThread", SysCreateRemoteThread: "NtCreateThreadEx",
+	SysSleep: "NtDelayExecution", SysYield: "NtYieldExecution",
+	SysGetPID: "NtGetCurrentProcessId", SysFindProcess: "NtFindProcess",
+	SysReadKeyboard: "NtReadKeyboard", SysReadScreen: "NtReadScreen",
+	SysReadAudio: "NtReadAudio", SysLoadLibrary: "NtLoadLibrary",
+	SysMessageBox: "NtMessageBox", SysGetTick: "NtGetTickCount",
+	SysRegSet: "NtSetValueKey", SysRegGet: "NtQueryValueKey",
+	SysRegDelete: "NtDeleteValueKey",
+}
+
+// SyscallName returns the Nt-style name of a syscall number.
+func SyscallName(no uint32) string {
+	if s, ok := syscallNames[no]; ok {
+		return s
+	}
+	return "NtUnknown"
+}

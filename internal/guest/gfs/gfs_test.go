@@ -1,0 +1,118 @@
+package gfs
+
+import (
+	"testing"
+)
+
+func TestInstallAndOpen(t *testing.T) {
+	fs := New()
+	fs.Install("prog.exe", []byte{1, 2, 3})
+	f, err := fs.Open("prog.exe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 3 || f.Version != 2 { // install=1, open bumps to 2
+		t.Errorf("size=%d version=%d", f.Size(), f.Version)
+	}
+	if _, err := fs.Open("missing"); err == nil {
+		t.Error("opened missing file")
+	}
+	if len(fs.Journal) != 0 {
+		t.Error("Install journaled")
+	}
+}
+
+func TestCreateTruncatesAndBumpsVersion(t *testing.T) {
+	fs := New()
+	f := fs.Create("log.txt")
+	if f.Version != 1 {
+		t.Errorf("version = %d", f.Version)
+	}
+	if err := f.WriteAt(0, []byte("hello"), nil); err != nil {
+		t.Fatal(err)
+	}
+	f2 := fs.Create("log.txt")
+	if f2 != f {
+		t.Error("create returned a different object")
+	}
+	if f2.Size() != 0 || f2.Version != 2 {
+		t.Errorf("after re-create: size=%d version=%d", f2.Size(), f2.Version)
+	}
+	if len(fs.Journal) != 2 || fs.Journal[0] != "create log.txt" || fs.Journal[1] != "truncate log.txt" {
+		t.Errorf("journal = %v", fs.Journal)
+	}
+}
+
+func TestWriteReadWithShadow(t *testing.T) {
+	fs := New()
+	f := fs.Create("data.bin")
+	if err := f.WriteAt(2, []byte{10, 20, 30}, []uint32{7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 5 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	data, shadow := f.ReadAt(0, 10)
+	if len(data) != 5 || data[2] != 10 || shadow[3] != 8 || shadow[0] != 0 {
+		t.Errorf("data=%v shadow=%v", data, shadow)
+	}
+	// Untainted overwrite clears shadow.
+	if err := f.WriteAt(3, []byte{99}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, shadow = f.ReadAt(3, 1)
+	if shadow[0] != 0 {
+		t.Error("shadow not cleared on untainted write")
+	}
+}
+
+func TestWriteAtErrors(t *testing.T) {
+	f := &File{}
+	if err := f.WriteAt(-1, []byte{1}, nil); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := f.WriteAt(0, []byte{1, 2}, []uint32{1}); err == nil {
+		t.Error("mismatched shadow accepted")
+	}
+}
+
+func TestReadAtBounds(t *testing.T) {
+	f := &File{}
+	_ = f.WriteAt(0, []byte{1, 2, 3}, nil)
+	if d, _ := f.ReadAt(5, 1); d != nil {
+		t.Error("read past end returned data")
+	}
+	if d, _ := f.ReadAt(0, 0); d != nil {
+		t.Error("zero-length read returned data")
+	}
+	d, _ := f.ReadAt(2, 100)
+	if len(d) != 1 || d[0] != 3 {
+		t.Errorf("clamped read = %v", d)
+	}
+}
+
+func TestDeleteAndList(t *testing.T) {
+	fs := New()
+	fs.Install("b.exe", nil)
+	fs.Install("a.exe", nil)
+	fs.Install("c.txt", nil)
+	got := fs.List()
+	want := []string{"a.exe", "b.exe", "c.txt"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v", got)
+		}
+	}
+	if err := fs.Delete("b.exe"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("b.exe"); err == nil {
+		t.Error("double delete accepted")
+	}
+	if _, ok := fs.Stat("b.exe"); ok {
+		t.Error("deleted file still stats")
+	}
+	if fs.Journal[len(fs.Journal)-1] != "delete b.exe" {
+		t.Errorf("journal = %v", fs.Journal)
+	}
+}

@@ -1,0 +1,849 @@
+package guest
+
+import (
+	"fmt"
+	"sort"
+
+	"faros/internal/guest/gfs"
+	"faros/internal/guest/gnet"
+	"faros/internal/isa"
+	"faros/internal/mem"
+	"faros/internal/peimg"
+	"faros/internal/record"
+	"faros/internal/vm"
+)
+
+// DefaultQuantum is the scheduler quantum in instructions.
+const DefaultQuantum uint64 = 256
+
+// DefaultLocalIP is the guest machine address (the victim machine of the
+// paper's testbed).
+const DefaultLocalIP = "169.254.57.168"
+
+// ProcEventKind classifies process lifecycle events for the OSI plugin.
+type ProcEventKind uint8
+
+// Process lifecycle events.
+const (
+	ProcCreated ProcEventKind = iota + 1
+	ProcExited
+	ProcSuspendedEv
+	ProcResumed
+	ProcKilled
+	ProcImageLoaded
+)
+
+func (k ProcEventKind) String() string {
+	switch k {
+	case ProcCreated:
+		return "created"
+	case ProcExited:
+		return "exited"
+	case ProcSuspendedEv:
+		return "suspended"
+	case ProcResumed:
+		return "resumed"
+	case ProcKilled:
+		return "killed"
+	case ProcImageLoaded:
+		return "image-loaded"
+	}
+	return "proc-event?"
+}
+
+// PacketRecord is one captured packet.
+type PacketRecord struct {
+	At      uint64
+	Flow    uint32
+	Inbound bool
+	Len     int
+	// Head is a bounded prefix of the payload for triage.
+	Head []byte
+}
+
+// String renders a tcpdump-style line.
+func (p PacketRecord) String() string {
+	dir := "->"
+	if p.Inbound {
+		dir = "<-"
+	}
+	return fmt.Sprintf("[%d] flow %d %s %d bytes", p.At, p.Flow, dir, p.Len)
+}
+
+// SyscallHook observes syscall entry (the syscalls2 plugin surface).
+type SyscallHook func(p *Process, no uint32, args [4]uint32)
+
+// SyscallRetHook observes syscall completion with its return value.
+type SyscallRetHook func(p *Process, no uint32, args [4]uint32, ret uint32)
+
+// ProcHook observes process lifecycle events (the OSI plugin surface).
+type ProcHook func(p *Process, ev ProcEventKind)
+
+// Kernel is the WinMini kernel: scheduler, syscalls, loader, and devices.
+type Kernel struct {
+	M      *vm.Machine
+	FS     *gfs.FS
+	Net    *gnet.Stack
+	Reg    *Registry
+	Bridge TaintBridge
+
+	// Quantum is the scheduler time slice in instructions.
+	Quantum uint64
+
+	// Console accumulates DebugPrint output as "name(pid): text".
+	Console []string
+	// MessageBoxes accumulates MessageBoxA text; injected payloads use it
+	// to prove execution (the paper's "pop-up message from the target
+	// process").
+	MessageBoxes []string
+	// PacketLog is the pcap-style capture of every packet crossing the
+	// NIC, in both directions (CuckooBox keeps network traffic traces).
+	PacketLog []PacketRecord
+
+	procs    map[uint32]*Process
+	order    []uint32 // pids in creation order (deterministic iteration)
+	cur      *Process
+	nextPID  uint32
+	nextCR3  uint32
+	rrCursor int
+
+	events   *record.Queue
+	recorder *record.Recorder
+	shutdown bool
+
+	keyboard []byte
+	audio    []byte
+
+	// kernel regions
+	exportFrames []uint32
+	exportSize   uint32
+	stubFrames   []uint32
+	stubSize     uint32
+	ntdllFrames  []uint32
+	ntdllSize    uint32
+	apiAddr      map[uint32]uint32 // name hash → VA
+	apiNames     map[uint32]string // VA → name (for reports)
+	entryNames   []string          // export table entry index → name
+
+	syscallHooks    []SyscallHook
+	syscallRetHooks []SyscallRetHook
+	procHooks       []ProcHook
+}
+
+// NewKernel boots a machine: builds the stub region, ntdll-mini, and the
+// kernel export table, and wires the network stack to the event queue.
+func NewKernel() (*Kernel, error) {
+	k := &Kernel{
+		M:       vm.New(mem.NewPhys()),
+		FS:      gfs.New(),
+		Net:     gnet.NewStack(DefaultLocalIP),
+		Reg:     NewRegistry(),
+		Bridge:  NopBridge{},
+		Quantum: DefaultQuantum,
+		procs:   make(map[uint32]*Process),
+		nextPID: 100,
+		nextCR3: 0x00185000, // Windows-flavored CR3 values
+		events:  record.NewQueue(nil),
+		apiAddr: make(map[uint32]uint32),
+		apiNames: map[uint32]string{},
+	}
+	k.Net.SetScheduler(k)
+	if err := k.buildKernelRegions(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// --- plugin surfaces ---
+
+// OnSyscall registers a syscall-entry observer.
+func (k *Kernel) OnSyscall(h SyscallHook) { k.syscallHooks = append(k.syscallHooks, h) }
+
+// OnSyscallRet registers a syscall-return observer.
+func (k *Kernel) OnSyscallRet(h SyscallRetHook) { k.syscallRetHooks = append(k.syscallRetHooks, h) }
+
+// OnProcEvent registers a process lifecycle observer.
+func (k *Kernel) OnProcEvent(h ProcHook) { k.procHooks = append(k.procHooks, h) }
+
+func (k *Kernel) fireProcEvent(p *Process, ev ProcEventKind) {
+	for _, h := range k.procHooks {
+		h(p, ev)
+	}
+}
+
+// --- record / replay wiring ---
+
+// SetRecorder attaches a recorder; every delivered event is logged.
+func (k *Kernel) SetRecorder(r *record.Recorder) { k.recorder = r }
+
+// EnableReplay switches the kernel to replay mode: live endpoints are
+// disabled and the event queue is preloaded from the log.
+func (k *Kernel) EnableReplay(log *record.Log) {
+	k.Net.Replay = true
+	k.events = record.NewQueue(log.Events)
+}
+
+// ScheduleEvent schedules a raw event (scenario scripts use it for
+// keyboard/audio input).
+func (k *Kernel) ScheduleEvent(ev record.Event) { k.events.Push(ev) }
+
+// SchedulePacket implements gnet.Scheduler.
+func (k *Kernel) SchedulePacket(flowID uint32, delay uint64, data []byte) {
+	k.events.Push(record.Event{At: k.M.InstrCount + delay, Kind: record.EvPacketIn, Flow: flowID, Data: data})
+}
+
+// ScheduleFlowClose implements gnet.Scheduler.
+func (k *Kernel) ScheduleFlowClose(flowID uint32, delay uint64) {
+	k.events.Push(record.Event{At: k.M.InstrCount + delay, Kind: record.EvFlowClose, Flow: flowID})
+}
+
+var _ gnet.Scheduler = (*Kernel)(nil)
+
+// --- kernel region construction ---
+
+// ntdllSource builds the guest code of ntdll-mini and returns the block and
+// export label names. GetProcAddress walks the export table in *guest*
+// instructions — benign programs resolving APIs at runtime go through this
+// untainted code path, which is why they do not trip the FAROS policy.
+func ntdllSource() (*isa.Block, map[string]string) {
+	b := isa.NewBlock()
+	exports := map[string]string{
+		"GetProcAddress": "getprocaddress",
+		"Memcpy":         "memcpy",
+	}
+
+	// GetProcAddress: EBX = name hash → EAX = resolved VA (0 if absent).
+	b.Label("getprocaddress")
+	b.Push(isa.ECX).Push(isa.EDX).Push(isa.ESI).Push(isa.EDI)
+	b.Movi(isa.ECX, ExportTableBase)
+	b.Ld(isa.EDX, isa.ECX, 0) // count
+	b.Movi(isa.ESI, 0)        // index
+	b.Label("gpa_loop")
+	b.Cmp(isa.ESI, isa.EDX)
+	b.Jge("gpa_notfound")
+	b.Mov(isa.EAX, isa.ESI)
+	b.Shli(isa.EAX, 3)
+	b.Add(isa.EAX, isa.ECX) // EAX = base + 8*i
+	b.Ld(isa.EDI, isa.EAX, 4)
+	b.Cmp(isa.EDI, isa.EBX)
+	b.Jz("gpa_found")
+	b.Addi(isa.ESI, 1)
+	b.Jmp("gpa_loop")
+	b.Label("gpa_found")
+	b.Ld(isa.EAX, isa.EAX, 8)
+	b.Jmp("gpa_out")
+	b.Label("gpa_notfound")
+	b.Movi(isa.EAX, 0)
+	b.Label("gpa_out")
+	b.Pop(isa.EDI).Pop(isa.ESI).Pop(isa.EDX).Pop(isa.ECX)
+	b.Ret()
+
+	// Memcpy: EBX = dst, ECX = src, EDX = n.
+	b.Label("memcpy")
+	b.Push(isa.ESI).Push(isa.EAX)
+	b.Movi(isa.ESI, 0)
+	b.Label("mc_loop")
+	b.Cmp(isa.ESI, isa.EDX)
+	b.Jge("mc_done")
+	b.LdbIdx(isa.EAX, isa.ECX, isa.ESI)
+	b.StbIdx(isa.EBX, isa.ESI, isa.EAX)
+	b.Addi(isa.ESI, 1)
+	b.Jmp("mc_loop")
+	b.Label("mc_done")
+	b.Pop(isa.EAX).Pop(isa.ESI)
+	b.Ret()
+
+	return b, exports
+}
+
+// buildKernelRegions assembles the stub region, ntdll-mini, and the export
+// table into shared physical frames.
+func (k *Kernel) buildKernelRegions() error {
+	phys := k.M.Phys()
+
+	// API stubs.
+	stubs := isa.NewBlock()
+	apis := apiTable()
+	for _, api := range apis {
+		start := stubs.Len()
+		stubs.Movi(isa.EAX, api.Sys)
+		stubs.Syscall()
+		stubs.Ret()
+		for stubs.Len() < start+int(StubStride) {
+			stubs.Nop()
+		}
+	}
+	stubCode, err := stubs.Assemble(StubBase)
+	if err != nil {
+		return fmt.Errorf("guest: assemble stubs: %w", err)
+	}
+	k.stubFrames, k.stubSize = writeToFrames(phys, stubCode)
+	for i, api := range apis {
+		va := StubVA(i)
+		k.apiAddr[peimg.HashName(api.Name)] = va
+		k.apiNames[va] = api.Name
+	}
+
+	// ntdll-mini.
+	ntdll, ntdllExports := ntdllSource()
+	ntdllCode, err := ntdll.Assemble(NtdllBase)
+	if err != nil {
+		return fmt.Errorf("guest: assemble ntdll: %w", err)
+	}
+	k.ntdllFrames, k.ntdllSize = writeToFrames(phys, ntdllCode)
+	// Deterministic registration order.
+	names := make([]string, 0, len(ntdllExports))
+	for name := range ntdllExports {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		off, ok := ntdll.LabelOffset(ntdllExports[name])
+		if !ok {
+			return fmt.Errorf("guest: ntdll export %q missing", name)
+		}
+		va := NtdllBase + uint32(off)
+		k.apiAddr[peimg.HashName(name)] = va
+		k.apiNames[va] = name
+	}
+
+	// Export table: count, then (hash, addr) entries in stub order followed
+	// by ntdll exports.
+	tbl := isa.NewBlock()
+	tbl.Word(uint32(len(apis) + len(names)))
+	for i, api := range apis {
+		tbl.Word(peimg.HashName(api.Name))
+		tbl.Word(StubVA(i))
+		k.entryNames = append(k.entryNames, api.Name)
+	}
+	for _, name := range names {
+		tbl.Word(peimg.HashName(name))
+		tbl.Word(k.apiAddr[peimg.HashName(name)])
+		k.entryNames = append(k.entryNames, name)
+	}
+	tblBytes, err := tbl.Assemble(ExportTableBase)
+	if err != nil {
+		return fmt.Errorf("guest: assemble export table: %w", err)
+	}
+	k.exportFrames, k.exportSize = writeToFrames(phys, tblBytes)
+	return nil
+}
+
+// writeToFrames copies data into freshly allocated frames.
+func writeToFrames(phys *mem.Phys, data []byte) ([]uint32, uint32) {
+	n := (len(data) + mem.PageSize - 1) / mem.PageSize
+	if n == 0 {
+		n = 1
+	}
+	frames := phys.AllocFrames(n)
+	for i, b := range data {
+		f, _ := phys.Frame(frames[i/mem.PageSize])
+		f[i%mem.PageSize] = b
+	}
+	return frames, uint32(len(data))
+}
+
+// ExportTableRange returns the VA range of the kernel export table; the
+// DIFT engine taints it with the export-table tag at attach time.
+func (k *Kernel) ExportTableRange() (uint32, uint32) { return ExportTableBase, k.exportSize }
+
+// ExportTablePhys returns the physical frames backing the export table.
+func (k *Kernel) ExportTablePhys() []uint32 { return k.exportFrames }
+
+// ExportEntryNameAt resolves a byte offset within the export table to the
+// API name whose entry covers it. The DIFT engine uses it to enrich
+// export-table findings with *which* function the injected code was
+// resolving — the paper's §V.A "future work" tag augmentation.
+func (k *Kernel) ExportEntryNameAt(off uint32) (string, bool) {
+	if off < 4 || off >= k.exportSize {
+		return "", false
+	}
+	idx := int(off-4) / 8
+	if idx >= len(k.entryNames) {
+		return "", false
+	}
+	return k.entryNames[idx], true
+}
+
+// APIName returns the exported API name at va, if any.
+func (k *Kernel) APIName(va uint32) (string, bool) {
+	s, ok := k.apiNames[va]
+	return s, ok
+}
+
+// ResolveAPI resolves an API name to its VA, as the loader does.
+func (k *Kernel) ResolveAPI(name string) (uint32, bool) {
+	va, ok := k.apiAddr[peimg.HashName(name)]
+	return va, ok
+}
+
+// --- process management ---
+
+// Process returns a process by pid.
+func (k *Kernel) Process(pid uint32) (*Process, bool) {
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// Processes returns all processes in creation order.
+func (k *Kernel) Processes() []*Process {
+	out := make([]*Process, 0, len(k.order))
+	for _, pid := range k.order {
+		out = append(out, k.procs[pid])
+	}
+	return out
+}
+
+// Current returns the process whose context is loaded, if any.
+func (k *Kernel) Current() *Process { return k.cur }
+
+// FindProcessByName returns the first live process with the given name.
+func (k *Kernel) FindProcessByName(name string) (*Process, bool) {
+	for _, pid := range k.order {
+		p := k.procs[pid]
+		if p.Name == name && p.State != StateDead {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// newSpace creates a process address space with the shared kernel regions
+// mapped: export table (r--), stubs and ntdll (r-x).
+func (k *Kernel) newSpace() (*mem.Space, error) {
+	cr3 := k.nextCR3
+	k.nextCR3 += 0x1000
+	s := mem.NewSpace(k.M.Phys(), cr3)
+	if err := s.MapShared(ExportTableBase, k.exportFrames, mem.PermRead); err != nil {
+		return nil, err
+	}
+	if err := s.MapShared(StubBase, k.stubFrames, mem.PermRX); err != nil {
+		return nil, err
+	}
+	if err := s.MapShared(NtdllBase, k.ntdllFrames, mem.PermRX); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Spawn loads the MZ32 image stored at path in the guest filesystem and
+// creates a process running it. With suspended set the process starts in
+// the suspended state (CreateProcessA with CREATE_SUSPENDED).
+func (k *Kernel) Spawn(path string, suspended bool, parent uint32) (*Process, error) {
+	f, err := k.FS.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("guest: spawn %s: %w", path, err)
+	}
+	img, err := peimg.Unmarshal(f.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("guest: spawn %s: %w", path, err)
+	}
+	space, err := k.newSpace()
+	if err != nil {
+		return nil, err
+	}
+	pid := k.nextPID
+	k.nextPID++
+	p := newProcess(pid, img.Name, space, parent)
+	p.Path = path
+	p.Img = img
+
+	// Stack.
+	if err := space.Map(StackBase, StackPages, mem.PermRW); err != nil {
+		return nil, err
+	}
+	p.AddVAD(VAD{Base: StackBase, Size: StackPages * mem.PageSize, Perm: mem.PermRW, Kind: VADStack})
+
+	if err := k.mapImage(p, img, f); err != nil {
+		return nil, fmt.Errorf("guest: spawn %s: %w", path, err)
+	}
+
+	p.CPU.EIP = img.Base + img.Entry
+	p.CPU.Regs[isa.ESP] = StackTop - 16
+	if suspended {
+		p.State = StateSuspended
+	}
+
+	k.procs[pid] = p
+	k.order = append(k.order, pid)
+	k.Bridge.ProcessStarted(p)
+	k.fireProcEvent(p, ProcCreated)
+	return p, nil
+}
+
+// mapImage maps an image's sections into p, copies their bytes (notifying
+// the bridge so file taint flows into the mapped pages), resolves imports,
+// and records VADs.
+func (k *Kernel) mapImage(p *Process, img *peimg.Image, f *gfs.File) error {
+	for i := range img.Sections {
+		sec := &img.Sections[i]
+		base := img.Base + sec.VA
+		if base%mem.PageSize != 0 {
+			return fmt.Errorf("unaligned section %q at %#x", sec.Name, base)
+		}
+		pages := mem.PagesSpanned(base, sec.MemSize())
+		if pages == 0 {
+			pages = 1
+		}
+		if err := p.Space.Map(base, pages, sec.Perm); err != nil {
+			return fmt.Errorf("map section %q: %w", sec.Name, err)
+		}
+		if len(sec.Data) > 0 {
+			if err := k.kwrite(p.Space, base, sec.Data); err != nil {
+				return fmt.Errorf("copy section %q: %w", sec.Name, err)
+			}
+			if f != nil {
+				k.Bridge.SectionLoaded(p, f, sec.DataFileOff, base, len(sec.Data))
+			}
+		}
+		p.AddVAD(VAD{Base: base, Size: uint32(pages) * mem.PageSize, Perm: sec.Perm, Kind: VADImage, Module: img.Name})
+	}
+	for _, im := range img.Imports {
+		va, ok := k.apiAddr[im.NameHash]
+		if !ok {
+			return fmt.Errorf("unresolved import %q (hash %#x)", im.Name, im.NameHash)
+		}
+		if err := k.kwrite32(p.Space, img.Base+im.ThunkVA, va); err != nil {
+			return fmt.Errorf("write thunk for %q: %w", im.Name, err)
+		}
+	}
+	k.fireProcEvent(p, ProcImageLoaded)
+	return nil
+}
+
+// killProcess terminates a process abnormally (fault).
+func (k *Kernel) killProcess(p *Process, reason string) {
+	if p.State == StateDead {
+		return
+	}
+	p.State = StateDead
+	p.KillReason = reason
+	p.ExitCode = ErrRet
+	k.Bridge.ProcessExited(p)
+	k.fireProcEvent(p, ProcKilled)
+}
+
+// exitProcess terminates a process normally.
+func (k *Kernel) exitProcess(p *Process, code uint32) {
+	if p.State == StateDead {
+		return
+	}
+	p.State = StateDead
+	p.ExitCode = code
+	k.Bridge.ProcessExited(p)
+	k.fireProcEvent(p, ProcExited)
+}
+
+// --- kernel memory helpers (privileged: ignore page permissions) ---
+
+// kernelWriteBytes writes into a space regardless of page write permission,
+// as ring-0 copies do (the loader writes r-x text sections this way).
+func kernelWriteBytes(s *mem.Space, va uint32, data []byte) error {
+	phys := s.Phys()
+	for i, b := range data {
+		a := va + uint32(i)
+		frame, ok := s.FrameOf(a)
+		if !ok {
+			return &mem.Fault{VA: a, Kind: mem.AccessWrite, Why: "page not mapped (kernel copy)"}
+		}
+		f, err := phys.Frame(frame)
+		if err != nil {
+			return err
+		}
+		f[a%mem.PageSize] = b
+	}
+	return nil
+}
+
+// kernelReadBytes reads from a space regardless of page permissions.
+func kernelReadBytes(s *mem.Space, va uint32, n int) ([]byte, error) {
+	phys := s.Phys()
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		a := va + uint32(i)
+		frame, ok := s.FrameOf(a)
+		if !ok {
+			return nil, &mem.Fault{VA: a, Kind: mem.AccessRead, Why: "page not mapped (kernel copy)"}
+		}
+		f, err := phys.Frame(frame)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f[a%mem.PageSize]
+	}
+	return out, nil
+}
+
+// kernelWrite32 writes a word with kernel privilege.
+func kernelWrite32(s *mem.Space, va uint32, v uint32) error {
+	return kernelWriteBytes(s, va, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}
+
+// kwrite is the kernel's privileged write: it bypasses page permissions
+// and invalidates the CPU's decoded-instruction cache for every frame it
+// touches (injected code must decode fresh).
+func (k *Kernel) kwrite(s *mem.Space, va uint32, data []byte) error {
+	if err := kernelWriteBytes(s, va, data); err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	for page := mem.PageBase(va); ; page += mem.PageSize {
+		if frame, ok := s.FrameOf(page); ok {
+			k.M.InvalidateFrame(frame)
+		}
+		if page >= mem.PageBase(va+uint32(len(data))-1) {
+			break
+		}
+	}
+	return nil
+}
+
+// kwrite32 is kwrite for one word.
+func (k *Kernel) kwrite32(s *mem.Space, va uint32, v uint32) error {
+	return k.kwrite(s, va, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}
+
+// --- event delivery ---
+
+// deliverDue pops and applies all events due at the current clock.
+func (k *Kernel) deliverDue() {
+	now := k.M.InstrCount
+	for {
+		ev, ok := k.events.PopDue(now)
+		if !ok {
+			return
+		}
+		ev.At = now
+		if k.recorder != nil {
+			k.recorder.Delivered(ev)
+		}
+		switch ev.Kind {
+		case record.EvPacketIn:
+			k.deliverPacket(ev)
+		case record.EvFlowClose:
+			if sock, ok := k.Net.CloseFlow(ev.Flow); ok {
+				k.wakeRecvWaiter(sock)
+			}
+		case record.EvKeyboard:
+			k.keyboard = append(k.keyboard, ev.Data...)
+		case record.EvAudio:
+			k.audio = append(k.audio, ev.Data...)
+		case record.EvShutdown:
+			k.shutdown = true
+		}
+	}
+}
+
+// deliverPacket pushes packet bytes (tagged by the bridge) into the flow's
+// socket and completes a blocked recv if one is pending.
+func (k *Kernel) deliverPacket(ev record.Event) {
+	flow, ok := k.Net.Flow(ev.Flow)
+	if !ok {
+		k.Console = append(k.Console, fmt.Sprintf("kernel: dropped packet for unknown flow %d", ev.Flow))
+		return
+	}
+	k.capturePacket(ev.Flow, true, ev.Data)
+	prov := k.Bridge.PacketIn(*flow, ev.Data)
+	sock, err := k.Net.DeliverPacket(ev.Flow, ev.Data, prov)
+	if err != nil {
+		k.Console = append(k.Console, "kernel: "+err.Error())
+		return
+	}
+	k.wakeRecvWaiter(sock)
+}
+
+// capturePacket appends to the pcap-style log (payload head bounded).
+func (k *Kernel) capturePacket(flow uint32, inbound bool, data []byte) {
+	head := data
+	if len(head) > 16 {
+		head = head[:16]
+	}
+	k.PacketLog = append(k.PacketLog, PacketRecord{
+		At:      k.M.InstrCount,
+		Flow:    flow,
+		Inbound: inbound,
+		Len:     len(data),
+		Head:    append([]byte(nil), head...),
+	})
+}
+
+// wakeRecvWaiter completes a pending blocking recv on the socket.
+func (k *Kernel) wakeRecvWaiter(sock *gnet.Socket) {
+	for _, pid := range k.order {
+		p := k.procs[pid]
+		if p.State != StateBlocked || p.wait != waitRecv || p.waitSock != sock.ID {
+			continue
+		}
+		if len(sock.RX) == 0 && !sock.RemoteClosed {
+			continue
+		}
+		data, prov := sock.TakeRX(int(p.waitBufMax))
+		if len(data) > 0 {
+			if err := k.kwrite(p.Space, p.waitBufVA, data); err != nil {
+				p.CPU.Regs[isa.EAX] = ErrRet
+				p.clearWait()
+				return
+			}
+			k.Bridge.RecvToUser(p, p.waitBufVA, data, prov)
+		}
+		p.CPU.Regs[isa.EAX] = uint32(len(data))
+		p.clearWait()
+		return
+	}
+}
+
+// --- scheduler and run loop ---
+
+// pickNext selects the next ready process round-robin.
+func (k *Kernel) pickNext() *Process {
+	n := len(k.order)
+	for i := 0; i < n; i++ {
+		idx := (k.rrCursor + i) % n
+		p := k.procs[k.order[idx]]
+		if p.State == StateReady {
+			k.rrCursor = (idx + 1) % n
+			return p
+		}
+	}
+	return nil
+}
+
+// dispatchTo context-switches the machine to p.
+func (k *Kernel) dispatchTo(p *Process) {
+	if k.cur == p {
+		k.M.SetSpace(p.Space)
+		k.M.CPU = p.CPU
+		return
+	}
+	k.Bridge.ContextSwitch(k.cur, p)
+	k.M.SetSpace(p.Space)
+	k.M.CPU = p.CPU
+	k.cur = p
+}
+
+// saveContext stores the machine CPU state back into p.
+func (k *Kernel) saveContext(p *Process) { p.CPU = k.M.CPU }
+
+// minSleepWake returns the earliest sleep deadline among blocked sleepers.
+func (k *Kernel) minSleepWake() (uint64, bool) {
+	var best uint64
+	found := false
+	for _, pid := range k.order {
+		p := k.procs[pid]
+		if p.State == StateBlocked && p.wait == waitSleep {
+			if !found || p.waitUntil < best {
+				best = p.waitUntil
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// wakeSleepers readies sleepers whose deadline has passed.
+func (k *Kernel) wakeSleepers() {
+	now := k.M.InstrCount
+	for _, pid := range k.order {
+		p := k.procs[pid]
+		if p.State == StateBlocked && p.wait == waitSleep && p.waitUntil <= now {
+			p.clearWait()
+		}
+	}
+}
+
+// RunSummary reports how a run ended.
+type RunSummary struct {
+	Instructions uint64
+	Reason       string
+	LiveProcs    int
+}
+
+// Run executes the guest until shutdown, process exhaustion, deadlock, or
+// the instruction budget is exhausted.
+func (k *Kernel) Run(maxInstr uint64) (RunSummary, error) {
+	for !k.shutdown {
+		if k.M.InstrCount >= maxInstr {
+			return k.summary("instruction budget exhausted"), nil
+		}
+		if !k.anyLive() {
+			return k.summary("all processes terminated"), nil
+		}
+		k.deliverDue()
+		k.wakeSleepers()
+		p := k.pickNext()
+		if p == nil {
+			// Nothing runnable: fast-forward to the next wake source.
+			evAt, haveEv := k.events.NextAt()
+			slAt, haveSl := k.minSleepWake()
+			switch {
+			case haveEv && (!haveSl || evAt <= slAt):
+				if evAt > k.M.InstrCount {
+					k.M.InstrCount = evAt
+				}
+				continue
+			case haveSl:
+				if slAt > k.M.InstrCount {
+					k.M.InstrCount = slAt
+				}
+				continue
+			default:
+				return k.summary("deadlock: processes blocked with no pending events"), nil
+			}
+		}
+		k.dispatchTo(p)
+		k.runQuantum(p, maxInstr)
+		if p.State != StateDead {
+			k.saveContext(p)
+		}
+	}
+	return k.summary("shutdown event"), nil
+}
+
+// runQuantum executes p for up to one quantum, handling traps.
+func (k *Kernel) runQuantum(p *Process, maxInstr uint64) {
+	steps := k.Quantum
+	for steps > 0 && k.M.InstrCount < maxInstr {
+		trap, err := k.M.Step()
+		if err != nil {
+			k.saveContext(p)
+			k.killProcess(p, err.Error())
+			return
+		}
+		steps--
+		switch trap {
+		case vm.TrapSyscall:
+			k.saveContext(p)
+			k.handleSyscall(p)
+			if p.State != StateReady {
+				return
+			}
+			// Syscall may have modified saved context (ret value).
+			k.M.CPU = p.CPU
+		case vm.TrapHalt:
+			k.saveContext(p)
+			k.exitProcess(p, 0)
+			return
+		}
+	}
+}
+
+func (k *Kernel) anyLive() bool {
+	for _, pid := range k.order {
+		if k.procs[pid].State != StateDead {
+			return true
+		}
+	}
+	return false
+}
+
+func (k *Kernel) summary(reason string) RunSummary {
+	live := 0
+	for _, pid := range k.order {
+		if k.procs[pid].State != StateDead {
+			live++
+		}
+	}
+	return RunSummary{Instructions: k.M.InstrCount, Reason: reason, LiveProcs: live}
+}

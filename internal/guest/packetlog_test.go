@@ -1,0 +1,68 @@
+package guest
+
+import (
+	"strings"
+	"testing"
+
+	"faros/internal/guest/gnet"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+)
+
+type echoOnce struct{}
+
+func (echoOnce) OnConnect(gnet.Flow) []gnet.Reply {
+	return []gnet.Reply{{DelayInstr: 100, Data: []byte("inbound-data")}}
+}
+func (echoOnce) OnData(gnet.Flow, []byte) []gnet.Reply { return nil }
+
+func TestPacketLogCapturesBothDirections(t *testing.T) {
+	k := newTestKernel(t)
+	k.Net.AddEndpoint(gnet.Addr{IP: "10.0.0.9", Port: 80}, echoOnce{})
+
+	b := peimg.NewBuilder("chatty.exe")
+	b.DataBlk.Label("ip").DataString("10.0.0.9")
+	b.DataBlk.Label("out").DataString("outbound")
+	buf := b.BSS(64)
+	b.CallImport("Socket")
+	b.Text.Mov(isa.EBP, isa.EAX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, b.MustDataVA("ip"))
+	b.Text.Movi(isa.EDX, 80)
+	b.CallImport("Connect")
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, b.MustDataVA("out"))
+	b.Text.Movi(isa.EDX, 8)
+	b.CallImport("Send")
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, buf)
+	b.Text.Movi(isa.EDX, 64)
+	b.CallImport("Recv")
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ExitProcess")
+	buildAndInstall(t, k, b, "chatty.exe")
+	if _, err := k.Spawn("chatty.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(k.PacketLog) != 2 {
+		t.Fatalf("packet log = %+v", k.PacketLog)
+	}
+	outb, inb := k.PacketLog[0], k.PacketLog[1]
+	if outb.Inbound || outb.Len != 8 || string(outb.Head) != "outbound" {
+		t.Errorf("outbound = %+v", outb)
+	}
+	if !inb.Inbound || inb.Len != 12 {
+		t.Errorf("inbound = %+v", inb)
+	}
+	if !strings.Contains(outb.String(), "->") || !strings.Contains(inb.String(), "<-") {
+		t.Errorf("render: %s / %s", outb, inb)
+	}
+	// Heads are bounded copies.
+	if len(inb.Head) > 16 {
+		t.Errorf("head too long: %d", len(inb.Head))
+	}
+}

@@ -1,0 +1,241 @@
+package guest
+
+import (
+	"strings"
+	"testing"
+
+	"faros/internal/guest/gnet"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+)
+
+// Failure-injection tests: the kernel must reject hostile or corrupted
+// inputs gracefully — malware analysis tooling routinely faces malformed
+// binaries and misbehaving guests.
+
+func TestSpawnCorruptedImage(t *testing.T) {
+	k := newTestKernel(t)
+	k.FS.Install("junk.exe", []byte("this is not an MZ32 image"))
+	if _, err := k.Spawn("junk.exe", false, 0); err == nil {
+		t.Error("corrupted image spawned")
+	}
+	k.FS.Install("trunc.exe", []byte{0x4D, 0x5A, 0x33, 0x32, 0xFF})
+	if _, err := k.Spawn("trunc.exe", false, 0); err == nil {
+		t.Error("truncated image spawned")
+	}
+	if _, err := k.Spawn("missing.exe", false, 0); err == nil {
+		t.Error("missing image spawned")
+	}
+}
+
+func TestSpawnUnresolvedImport(t *testing.T) {
+	k := newTestKernel(t)
+	b := peimg.NewBuilder("bad_import.exe")
+	b.CallImport("NoSuchAPIAnywhere")
+	buildAndInstall(t, k, b, "bad_import.exe")
+	if _, err := k.Spawn("bad_import.exe", false, 0); err == nil ||
+		!strings.Contains(err.Error(), "unresolved import") {
+		t.Errorf("unresolved import: %v", err)
+	}
+}
+
+func TestSyscallsWithHostilePointers(t *testing.T) {
+	// A program that passes wild pointers to every pointer-taking syscall
+	// must get error returns, not kernel panics.
+	k := newTestKernel(t)
+	b := peimg.NewBuilder("hostile.exe")
+	wild := uint32(0x66660000)
+	// DebugPrint(wild)
+	b.Text.Movi(isa.EBX, wild)
+	b.CallImport("DebugPrint")
+	// OpenFileA(wild)
+	b.Text.Movi(isa.EBX, wild)
+	b.CallImport("OpenFileA")
+	// ReadFile(badhandle, wild, huge)
+	b.Text.Movi(isa.EBX, 0xABCD)
+	b.Text.Movi(isa.ECX, wild)
+	b.Text.Movi(isa.EDX, 0x7FFFFFFF)
+	b.CallImport("ReadFile")
+	// WriteProcessMemory(self, wild, wild, 16)
+	b.Text.Movi(isa.EBX, 0)
+	b.Text.Movi(isa.ECX, wild)
+	b.Text.Movi(isa.EDX, wild)
+	b.Text.Movi(isa.ESI, 16)
+	b.CallImport("WriteProcessMemory")
+	// VirtualAlloc(self, unaligned hint, ...)
+	b.Text.Movi(isa.EBX, 0)
+	b.Text.Movi(isa.ECX, 0x1003)
+	b.Text.Movi(isa.EDX, 64)
+	b.Text.Movi(isa.ESI, 7)
+	b.CallImport("VirtualAlloc")
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ExitProcess")
+	buildAndInstall(t, k, b, "hostile.exe")
+	p, err := k.Spawn("hostile.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.State != StateDead || p.ExitCode != 0 {
+		t.Errorf("hostile program should complete normally: state=%v exit=%d reason=%q",
+			p.State, p.ExitCode, p.KillReason)
+	}
+}
+
+func TestRecvAfterRemoteClose(t *testing.T) {
+	k := newTestKernel(t)
+	k.Net.AddEndpoint(gnet.Addr{IP: "10.0.0.9", Port: 80}, closingEndpoint{})
+	b := peimg.NewBuilder("closer.exe")
+	b.DataBlk.Label("ip").DataString("10.0.0.9")
+	buf := b.BSS(64)
+	b.CallImport("Socket")
+	b.Text.Mov(isa.EBP, isa.EAX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, b.MustDataVA("ip"))
+	b.Text.Movi(isa.EDX, 80)
+	b.CallImport("Connect")
+	// First recv gets the banner; second must return 0 (closed), not hang.
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, buf)
+	b.Text.Movi(isa.EDX, 64)
+	b.CallImport("Recv")
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, buf)
+	b.Text.Movi(isa.EDX, 64)
+	b.CallImport("Recv")
+	b.Text.Mov(isa.EBX, isa.EAX) // exit code = second recv's result
+	b.CallImport("ExitProcess")
+	buildAndInstall(t, k, b, "closer.exe")
+	p, err := k.Spawn("closer.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := k.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.State != StateDead || p.ExitCode != 0 {
+		t.Errorf("recv-after-close: state=%v exit=%d (%s)", p.State, p.ExitCode, sum.Reason)
+	}
+}
+
+type closingEndpoint struct{}
+
+func (closingEndpoint) OnConnect(gnet.Flow) []gnet.Reply {
+	return []gnet.Reply{
+		{DelayInstr: 100, Data: []byte("bye")},
+		{DelayInstr: 200, Close: true},
+	}
+}
+
+func (closingEndpoint) OnData(gnet.Flow, []byte) []gnet.Reply { return nil }
+
+func TestDeadlockDetected(t *testing.T) {
+	// A process blocking on a socket that will never receive: the run must
+	// terminate with a deadlock summary, not spin.
+	k := newTestKernel(t)
+	k.Net.Replay = true // permits connecting to a nonexistent endpoint
+	b := peimg.NewBuilder("waiter.exe")
+	b.DataBlk.Label("ip").DataString("9.9.9.9")
+	buf := b.BSS(16)
+	b.CallImport("Socket")
+	b.Text.Mov(isa.EBP, isa.EAX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, b.MustDataVA("ip"))
+	b.Text.Movi(isa.EDX, 1)
+	b.CallImport("Connect")
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, buf)
+	b.Text.Movi(isa.EDX, 16)
+	b.CallImport("Recv")
+	buildAndInstall(t, k, b, "waiter.exe")
+	if _, err := k.Spawn("waiter.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := k.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum.Reason, "deadlock") {
+		t.Errorf("reason = %q", sum.Reason)
+	}
+}
+
+func TestStackOverflowKillsProcess(t *testing.T) {
+	k := newTestKernel(t)
+	b := peimg.NewBuilder("recurse.exe")
+	b.Text.Label("f").Call("f") // infinite recursion
+	buildAndInstall(t, k, b, "recurse.exe")
+	p, err := k.Spawn("recurse.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.State != StateDead || p.KillReason == "" {
+		t.Errorf("runaway recursion: state=%v reason=%q", p.State, p.KillReason)
+	}
+}
+
+func TestLoadLibraryBaseCollision(t *testing.T) {
+	// A DLL whose preferred base collides with the main image must fail to
+	// load, with an error return rather than corruption.
+	k := newTestKernel(t)
+	dll := peimg.NewBuilder("clash.dll") // default base == main image base
+	dll.Text.Ret()
+	raw, err := dll.BuildBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.FS.Install("clash.dll", raw)
+
+	b := peimg.NewBuilder("loader.exe")
+	b.DataBlk.Label("path").DataString("clash.dll")
+	b.Text.Movi(isa.EBX, b.MustDataVA("path"))
+	b.CallImport("LoadLibraryA")
+	b.Text.Mov(isa.EBX, isa.EAX) // exit code = LoadLibrary result
+	b.CallImport("ExitProcess")
+	buildAndInstall(t, k, b, "loader.exe")
+	p, err := k.Spawn("loader.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != ErrRet {
+		t.Errorf("colliding LoadLibrary returned %#x, want error", p.ExitCode)
+	}
+}
+
+func TestExportEntryNameAt(t *testing.T) {
+	k := newTestKernel(t)
+	name, ok := k.ExportEntryNameAt(4)
+	if !ok || name != "ExitProcess" {
+		t.Errorf("entry 0 = %q, %v", name, ok)
+	}
+	if _, ok := k.ExportEntryNameAt(0); ok {
+		t.Error("count word attributed to an entry")
+	}
+	if _, ok := k.ExportEntryNameAt(0xFFFF); ok {
+		t.Error("out-of-range offset attributed")
+	}
+	// Offset into the middle of an entry still attributes to it.
+	name2, ok := k.ExportEntryNameAt(9)
+	if !ok || name2 != "ExitProcess" {
+		t.Errorf("entry mid-offset = %q", name2)
+	}
+}
+
+func TestStubAddrOf(t *testing.T) {
+	va, ok := StubAddrOf("ExitProcess")
+	if !ok || va != StubBase {
+		t.Errorf("ExitProcess stub = %#x, %v", va, ok)
+	}
+	if _, ok := StubAddrOf("Bogus"); ok {
+		t.Error("bogus API resolved")
+	}
+}

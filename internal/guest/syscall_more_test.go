@@ -1,0 +1,310 @@
+package guest
+
+import (
+	"strings"
+	"testing"
+
+	"faros/internal/isa"
+	"faros/internal/mem"
+	"faros/internal/peimg"
+	"faros/internal/record"
+)
+
+func TestNtdllMemcpy(t *testing.T) {
+	k := newTestKernel(t)
+	b := peimg.NewBuilder("mc.exe")
+	b.DataBlk.Label("src").DataString("copy me please")
+	dst := b.BSS(32)
+	b.Text.Movi(isa.EBX, peimg.HashName("Memcpy"))
+	b.CallImport("GetProcAddress")
+	b.Text.Mov(isa.EBP, isa.EAX)
+	b.Text.Movi(isa.EBX, dst)
+	b.Text.Movi(isa.ECX, b.MustDataVA("src"))
+	b.Text.Movi(isa.EDX, 15)
+	b.Text.CallReg(isa.EBP)
+	b.Text.Movi(isa.EBX, dst)
+	b.CallImport("DebugPrint")
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ExitProcess")
+	buildAndInstall(t, k, b, "mc.exe")
+	if _, err := k.Spawn("mc.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Console) != 1 || !strings.Contains(k.Console[0], "copy me please") {
+		t.Errorf("console = %v", k.Console)
+	}
+}
+
+func TestVirtualProtectAndFree(t *testing.T) {
+	k := newTestKernel(t)
+	b := peimg.NewBuilder("vp.exe")
+	// Alloc rw, write, protect to r--, attempt write (should fault → die),
+	// after first verifying VirtualFree on a second region works.
+	b.Text.Movi(isa.EBX, 0)
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Movi(isa.EDX, 4096)
+	b.Text.Movi(isa.ESI, uint32(mem.PermRW))
+	b.CallImport("VirtualAlloc")
+	b.Text.Mov(isa.EBP, isa.EAX) // region A
+
+	// Second region, then free it.
+	b.Text.Movi(isa.EBX, 0)
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Movi(isa.EDX, 4096)
+	b.Text.Movi(isa.ESI, uint32(mem.PermRW))
+	b.CallImport("VirtualAlloc")
+	b.Text.Mov(isa.ECX, isa.EAX)
+	b.Text.Movi(isa.EBX, 0)
+	b.Text.Movi(isa.EDX, 4096)
+	b.CallImport("VirtualFree")
+
+	// Protect region A read-only, then write to it → access violation.
+	b.Text.Movi(isa.EBX, 0)
+	b.Text.Mov(isa.ECX, isa.EBP)
+	b.Text.Movi(isa.EDX, 4096)
+	b.Text.Movi(isa.ESI, uint32(mem.PermRead))
+	b.CallImport("VirtualProtect")
+	b.Text.Movi(isa.EAX, 1)
+	b.Text.St(isa.EBP, 0, isa.EAX) // faults
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ExitProcess")
+	buildAndInstall(t, k, b, "vp.exe")
+	p, err := k.Spawn("vp.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.KillReason == "" || !strings.Contains(p.KillReason, "permission") {
+		t.Errorf("expected access violation, got state=%v reason=%q exit=%d", p.State, p.KillReason, p.ExitCode)
+	}
+	// VADs: the freed region must be gone; region A remains with new perm.
+	private := 0
+	for _, v := range p.VADs {
+		if v.Kind == VADPrivate {
+			private++
+			if v.Perm != mem.PermRead {
+				t.Errorf("VAD perm = %v after protect", v.Perm)
+			}
+		}
+	}
+	if private != 1 {
+		t.Errorf("private VADs = %d, want 1 (one freed)", private)
+	}
+}
+
+func TestReadProcessMemory(t *testing.T) {
+	k := newTestKernel(t)
+	buildAndInstall(t, k, helloProgram("victim.exe", "v"), "victim.exe")
+
+	spy := peimg.NewBuilder("spy.exe")
+	buf := spy.BSS(16)
+	spy.DataBlk.Label("victim").DataString("victim.exe")
+	spy.Text.Movi(isa.EBX, spy.MustDataVA("victim"))
+	spy.CallImport("FindProcessA")
+	spy.Text.Mov(isa.EBX, isa.EAX)
+	spy.CallImport("OpenProcess")
+	// ReadProcessMemory(victim, buf, victim text base, 8)
+	spy.Text.Mov(isa.EBX, isa.EAX)
+	spy.Text.Movi(isa.ECX, buf)
+	spy.Text.Movi(isa.EDX, UserImageBase+peimg.TextOff)
+	spy.Text.Movi(isa.ESI, 8)
+	spy.CallImport("ReadProcessMemory")
+	spy.Text.Mov(isa.EBX, isa.EAX) // exit = bytes read
+	spy.CallImport("ExitProcess")
+	buildAndInstall(t, k, spy, "spy.exe")
+
+	if _, err := k.Spawn("victim.exe", true, 0); err != nil { // suspended: stays alive
+		t.Fatal(err)
+	}
+	p, err := k.Spawn("spy.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != 8 {
+		t.Errorf("ReadProcessMemory exit = %d", p.ExitCode)
+	}
+}
+
+func TestMessageBoxGetTickYield(t *testing.T) {
+	k := newTestKernel(t)
+	b := peimg.NewBuilder("misc.exe")
+	b.DataBlk.Label("m").DataString("hello box")
+	b.Text.Movi(isa.EBX, b.MustDataVA("m"))
+	b.CallImport("MessageBoxA")
+	b.CallImport("YieldProcessor")
+	b.CallImport("GetTickCount")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.CallImport("ExitProcess") // exit code = tick (nonzero)
+	buildAndInstall(t, k, b, "misc.exe")
+	p, err := k.Spawn("misc.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.MessageBoxes) != 1 || !strings.Contains(k.MessageBoxes[0], "hello box") {
+		t.Errorf("boxes = %v", k.MessageBoxes)
+	}
+	if p.ExitCode == 0 {
+		t.Error("GetTickCount returned 0")
+	}
+}
+
+func TestReadScreenDeterministic(t *testing.T) {
+	k := newTestKernel(t)
+	b := peimg.NewBuilder("scr.exe")
+	buf := b.BSS(128)
+	b.Text.Movi(isa.EBX, buf)
+	b.Text.Movi(isa.ECX, 64)
+	b.CallImport("ReadScreen")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.CallImport("ExitProcess")
+	buildAndInstall(t, k, b, "scr.exe")
+	p, err := k.Spawn("scr.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != 64 {
+		t.Errorf("ReadScreen = %d", p.ExitCode)
+	}
+	data, err := kernelReadBytes(p.Space, buf, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allZero := true
+	for _, v := range data {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Error("framebuffer all zero")
+	}
+}
+
+func TestDeleteFileAndCloseHandleSyscalls(t *testing.T) {
+	k := newTestKernel(t)
+	b := peimg.NewBuilder("fsops.exe")
+	b.DataBlk.Label("f").DataString("temp.dat")
+	b.Text.Movi(isa.EBX, b.MustDataVA("f"))
+	b.CallImport("CreateFileA")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.CallImport("CloseHandle")
+	b.Text.Movi(isa.EBX, b.MustDataVA("f"))
+	b.CallImport("DeleteFileA")
+	b.Text.Movi(isa.EBX, b.MustDataVA("f"))
+	b.CallImport("DeleteFileA") // second delete fails
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.CallImport("ExitProcess") // exit = second delete result (ErrRet)
+	buildAndInstall(t, k, b, "fsops.exe")
+	p, err := k.Spawn("fsops.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k.FS.Stat("temp.dat"); ok {
+		t.Error("file survived delete")
+	}
+	if p.ExitCode != ErrRet {
+		t.Errorf("double delete = %#x", p.ExitCode)
+	}
+}
+
+func TestShutdownEventEndsRun(t *testing.T) {
+	k := newTestKernel(t)
+	b := peimg.NewBuilder("forever.exe")
+	b.Text.Label("spin")
+	b.Text.Movi(isa.EBX, 10)
+	b.CallImport("Sleep")
+	b.Text.Jmp("spin")
+	buildAndInstall(t, k, b, "forever.exe")
+	if _, err := k.Spawn("forever.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	k.ScheduleEvent(record.Event{At: 5_000, Kind: record.EvShutdown})
+	sum, err := k.Run(100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Reason != "shutdown event" {
+		t.Errorf("reason = %q", sum.Reason)
+	}
+	if sum.LiveProcs != 1 {
+		t.Errorf("live procs = %d", sum.LiveProcs)
+	}
+}
+
+func TestInstructionBudgetEndsRun(t *testing.T) {
+	k := newTestKernel(t)
+	b := peimg.NewBuilder("busy.exe")
+	b.Text.Label("spin").Nop().Jmp("spin")
+	buildAndInstall(t, k, b, "busy.exe")
+	if _, err := k.Spawn("busy.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := k.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum.Reason, "budget") {
+		t.Errorf("reason = %q", sum.Reason)
+	}
+	if sum.Instructions < 10_000 {
+		t.Errorf("instructions = %d", sum.Instructions)
+	}
+}
+
+func TestSuspendResumeErrors(t *testing.T) {
+	k := newTestKernel(t)
+	b := peimg.NewBuilder("s.exe")
+	// ResumeProcess on a non-suspended self → error.
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ResumeProcess")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.CallImport("ExitProcess")
+	buildAndInstall(t, k, b, "s.exe")
+	p, err := k.Spawn("s.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != ErrRet {
+		t.Errorf("resume of running proc = %#x", p.ExitCode)
+	}
+}
+
+func TestOpenProcessInvalidPID(t *testing.T) {
+	k := newTestKernel(t)
+	b := peimg.NewBuilder("op.exe")
+	b.Text.Movi(isa.EBX, 9999)
+	b.CallImport("OpenProcess")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.CallImport("ExitProcess")
+	buildAndInstall(t, k, b, "op.exe")
+	p, err := k.Spawn("op.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.ExitCode != ErrRet {
+		t.Errorf("OpenProcess(9999) = %#x", p.ExitCode)
+	}
+}

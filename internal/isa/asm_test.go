@@ -1,0 +1,174 @@
+package isa
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func decodeAt(t *testing.T, code []byte, off int) Instruction {
+	t.Helper()
+	in, err := Decode(code[off : off+InstrSize])
+	if err != nil {
+		t.Fatalf("decode at %d: %v", off, err)
+	}
+	return in
+}
+
+func TestBlockForwardAndBackwardJumps(t *testing.T) {
+	b := NewBlock()
+	b.Label("top")
+	b.Movi(EAX, 0)  // 0
+	b.Jmp("end")    // 8
+	b.Movi(EAX, 99) // 16 (skipped)
+	b.Label("end")
+	b.Jmp("top") // 24
+	code, err := b.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := decodeAt(t, code, 8)
+	if fwd.Mode != ModeRel || fwd.RelOffset() != 8 {
+		t.Errorf("forward jump offset = %d, want 8", fwd.RelOffset())
+	}
+	back := decodeAt(t, code, 24)
+	if back.RelOffset() != -32 {
+		t.Errorf("backward jump offset = %d, want -32", back.RelOffset())
+	}
+}
+
+func TestBlockUndefinedLabel(t *testing.T) {
+	b := NewBlock()
+	b.Jmp("nowhere")
+	if _, err := b.Assemble(0); err == nil {
+		t.Fatal("expected undefined label error")
+	}
+}
+
+func TestBlockDuplicateLabel(t *testing.T) {
+	b := NewBlock()
+	b.Label("x").Nop().Label("x")
+	if _, err := b.Assemble(0); err == nil {
+		t.Fatal("expected duplicate label error")
+	}
+}
+
+func TestBlockInvalidInstructionReported(t *testing.T) {
+	b := NewBlock()
+	b.Raw(Instruction{Op: OpLd, Mode: ModeRR, Dst: EAX, Src: EBX})
+	if _, err := b.Assemble(0); err == nil {
+		t.Fatal("expected invalid instruction error")
+	}
+}
+
+func TestBlockDataAndLabels(t *testing.T) {
+	b := NewBlock()
+	b.Jmp("code")
+	b.Label("msg").DataString("hi")
+	b.Align(InstrSize)
+	b.Label("code").MoviLabel(EAX, "msg").Ret()
+	code, err := b.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgOff, ok := b.LabelOffset("msg")
+	if !ok || msgOff != InstrSize {
+		t.Fatalf("msg offset = %d, %v", msgOff, ok)
+	}
+	if string(code[msgOff:msgOff+2]) != "hi" {
+		t.Errorf("data not placed: %q", code[msgOff:msgOff+3])
+	}
+	codeOff, _ := b.LabelOffset("code")
+	in := decodeAt(t, code, codeOff)
+	if in.Op != OpMov || in.Imm != uint32(msgOff) {
+		t.Errorf("MoviLabel imm = %#x, want %#x", in.Imm, msgOff)
+	}
+}
+
+func TestBlockWordLittleEndian(t *testing.T) {
+	b := NewBlock()
+	b.Word(0x11223344)
+	code := b.MustAssemble(0)
+	if binary.LittleEndian.Uint32(code) != 0x11223344 {
+		t.Errorf("word = %x", code)
+	}
+}
+
+func TestBlockAlignAndSpace(t *testing.T) {
+	b := NewBlock()
+	b.Data([]byte{1, 2, 3}).Align(8)
+	if b.Len() != 8 {
+		t.Fatalf("aligned len = %d", b.Len())
+	}
+	b.Space(5)
+	if b.Len() != 13 {
+		t.Fatalf("spaced len = %d", b.Len())
+	}
+}
+
+func TestGetPCSequence(t *testing.T) {
+	b := NewBlock()
+	b.GetPC(EAX)
+	code := b.MustAssemble(0)
+	call := decodeAt(t, code, 0)
+	if call.Op != OpCall || call.Mode != ModeRel || call.RelOffset() != 0 {
+		t.Errorf("GetPC call = %+v", call)
+	}
+	pop := decodeAt(t, code, 8)
+	if pop.Op != OpPop || pop.Dst != EAX {
+		t.Errorf("GetPC pop = %+v", pop)
+	}
+}
+
+func TestLeaSelfDelta(t *testing.T) {
+	b := NewBlock()
+	b.LeaSelf(EBX, "data") // call(8) + pop(8) + add(8) = 24 bytes
+	b.Ret()
+	b.Label("data").DataString("payload")
+	code := b.MustAssemble(0)
+	add := decodeAt(t, code, 16)
+	if add.Op != OpAdd || add.Dst != EBX {
+		t.Fatalf("LeaSelf add = %+v", add)
+	}
+	// At runtime EBX holds the address of the POP (offset 8). The delta must
+	// bring it to the offset of "data" (32).
+	dataOff, _ := b.LabelOffset("data")
+	if got := uint32(8) + add.Imm; got != uint32(dataOff) {
+		t.Errorf("LeaSelf lands at %d, want %d", got, dataOff)
+	}
+}
+
+func TestDisasmStyles(t *testing.T) {
+	tests := []struct {
+		in   Instruction
+		pc   uint32
+		want string
+	}{
+		{Instruction{Op: OpMov, Mode: ModeRR, Dst: EAX, Src: EBX}, 0, "MOV EAX, EBX"},
+		{Instruction{Op: OpLd, Mode: ModeRM, Dst: EAX, Src: EBX, Imm: 0}, 0, "LD EAX, [EBX]"},
+		{Instruction{Op: OpLd, Mode: ModeRM, Dst: EAX, Src: EBX, Imm: 0x60}, 0, "LD EAX, [EBX+0x60]"},
+		{Instruction{Op: OpSt, Mode: ModeMR, Dst: EBP, Src: ECX, Imm: 4}, 0, "ST [EBP+0x4], ECX"},
+		{Instruction{Op: OpJmp, Mode: ModeRel, Imm: 8}, 0x1000, "JMP 0x1010"},
+		{Instruction{Op: OpSyscall, Mode: ModeNone}, 0, "SYSCALL"},
+		{Instruction{Op: OpCall, Mode: ModeRR, Dst: ESI}, 0, "CALL ESI"},
+		{Instruction{Op: OpLd, Mode: ModeRX, Dst: EAX, Src: EBX, Imm: uint32(ECX)}, 0, "LD EAX, [EBX+ECX]"},
+	}
+	for _, tc := range tests {
+		if got := Disasm(tc.in, tc.pc); got != tc.want {
+			t.Errorf("Disasm(%+v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDisasmBytes(t *testing.T) {
+	b := NewBlock()
+	b.Movi(EAX, 1).Ret()
+	out := DisasmBytes(b.MustAssemble(0x2000), 0x2000)
+	if !strings.Contains(out, "00002000  MOV EAX, 0x1") || !strings.Contains(out, "00002008  RET") {
+		t.Errorf("unexpected disassembly:\n%s", out)
+	}
+	out = DisasmBytes([]byte{0xFF, 0xFF, 0, 0, 0, 0, 0, 0}, 0)
+	if !strings.Contains(out, "<invalid>") {
+		t.Errorf("invalid not marked:\n%s", out)
+	}
+}

@@ -1,0 +1,67 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders an instruction at address pc in the Intel-like style the
+// paper's figures use, e.g. "MOV EAX, [0x7FF00960]".
+func Disasm(in Instruction, pc uint32) string {
+	switch in.Op {
+	case OpNop, OpHlt, OpRet, OpSyscall:
+		return in.Op.String()
+	}
+	switch in.Mode {
+	case ModeRR:
+		switch in.Op {
+		case OpNot, OpPush, OpPop:
+			return fmt.Sprintf("%s %s", in.Op, in.Dst)
+		case OpJmp, OpCall:
+			return fmt.Sprintf("%s %s", in.Op, in.Dst)
+		}
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.Src)
+	case ModeRI:
+		switch in.Op {
+		case OpPush:
+			return fmt.Sprintf("%s 0x%X", in.Op, in.Imm)
+		case OpJmp, OpJz, OpJnz, OpJl, OpJg, OpJle, OpJge, OpCall:
+			return fmt.Sprintf("%s 0x%X", in.Op, in.Imm)
+		}
+		return fmt.Sprintf("%s %s, 0x%X", in.Op, in.Dst, in.Imm)
+	case ModeRM:
+		if in.Imm == 0 {
+			return fmt.Sprintf("%s %s, [%s]", in.Op, in.Dst, in.Src)
+		}
+		return fmt.Sprintf("%s %s, [%s+0x%X]", in.Op, in.Dst, in.Src, in.Imm)
+	case ModeMR:
+		if in.Imm == 0 {
+			return fmt.Sprintf("%s [%s], %s", in.Op, in.Dst, in.Src)
+		}
+		return fmt.Sprintf("%s [%s+0x%X], %s", in.Op, in.Dst, in.Imm, in.Src)
+	case ModeRX:
+		return fmt.Sprintf("%s %s, [%s+%s]", in.Op, in.Dst, in.Src, in.IndexReg())
+	case ModeXR:
+		return fmt.Sprintf("%s [%s+%s], %s", in.Op, in.Dst, in.IndexReg(), in.Src)
+	case ModeRel:
+		target := pc + InstrSize + uint32(in.RelOffset())
+		return fmt.Sprintf("%s 0x%X", in.Op, target)
+	}
+	return fmt.Sprintf("%s ?%s", in.Op, in.Mode)
+}
+
+// DisasmBytes disassembles a code buffer loaded at base, one instruction per
+// line, stopping at the first undecodable instruction.
+func DisasmBytes(code []byte, base uint32) string {
+	var sb strings.Builder
+	for off := 0; off+InstrSize <= len(code); off += InstrSize {
+		in, err := Decode(code[off : off+InstrSize])
+		pc := base + uint32(off)
+		if err != nil {
+			fmt.Fprintf(&sb, "%08X  <invalid>\n", pc)
+			break
+		}
+		fmt.Fprintf(&sb, "%08X  %s\n", pc, Disasm(in, pc))
+	}
+	return sb.String()
+}

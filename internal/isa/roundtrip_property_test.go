@@ -1,0 +1,80 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestDisasmParseRoundTripProperty: any valid non-relative instruction must
+// survive disassembly followed by re-assembly byte-for-byte. (Relative
+// jumps render as absolute targets by design, so they are excluded.)
+func TestDisasmParseRoundTripProperty(t *testing.T) {
+	f := func(opRaw, modeRaw, dstRaw, srcRaw uint8, immRaw uint16) bool {
+		in := Instruction{
+			Op:   Op(opRaw%uint8(opMax-1) + 1),
+			Mode: Mode(modeRaw%uint8(modeMax-1) + 1),
+			Dst:  Reg(dstRaw % NumRegs),
+			Src:  Reg(srcRaw % NumRegs),
+			Imm:  uint32(immRaw),
+		}
+		if in.Mode == ModeRel {
+			return true // rendered as absolute target; not re-parseable 1:1
+		}
+		if in.Mode == ModeRX || in.Mode == ModeXR {
+			in.Imm &= 0x7 // index register encoding
+		}
+		if in.Validate() != nil {
+			return true
+		}
+		text := Disasm(in, 0)
+		b, err := Parse(text)
+		if err != nil {
+			t.Logf("%v → %q: parse: %v", in, text, err)
+			return false
+		}
+		code, err := b.Assemble(0)
+		if err != nil || len(code) != InstrSize {
+			return false
+		}
+		got, err := Decode(code)
+		if err != nil {
+			return false
+		}
+		// Unused operand fields (e.g. dst of PUSH-immediate) are not
+		// preserved by text; semantic equality is identical disassembly.
+		if Disasm(got, 0) != text {
+			t.Logf("%v → %q → %v (%q)", in, text, got, Disasm(got, 0))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseWholeDisassemblyOfRealProgram re-assembles the disassembly of a
+// complete straight-line program.
+func TestParseWholeDisassemblyOfRealProgram(t *testing.T) {
+	b := NewBlock()
+	b.Movi(EAX, 0x1234)
+	b.Mov(EBX, EAX)
+	b.Ld(ECX, EBX, 0x10)
+	b.Add(ECX, EAX)
+	b.St(EBX, 0x20, ECX)
+	b.Push(ECX)
+	b.Pop(EDX)
+	b.Syscall()
+	b.Hlt()
+	code := b.MustAssemble(0)
+	dis := DisasmBytes(code, 0)
+	var src []string
+	for _, line := range strings.Split(strings.TrimSpace(dis), "\n") {
+		src = append(src, strings.SplitN(line, "  ", 2)[1])
+	}
+	code2 := MustParse(strings.Join(src, "\n")).MustAssemble(0)
+	if string(code) != string(code2) {
+		t.Errorf("round trip differs:\n%s\n%s", dis, DisasmBytes(code2, 0))
+	}
+}

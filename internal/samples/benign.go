@@ -1,0 +1,305 @@
+package samples
+
+import (
+	"fmt"
+
+	"faros/internal/guest/gnet"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+	"faros/internal/record"
+)
+
+// The 14 benign programs of the Table IV false-positive corpus: the four
+// named in the table (Remote Utility, TeamViewer, Win7 snipping tool,
+// Skype) plus ten more covering download, upload, legitimate DLL loading,
+// and runtime API resolution through ntdll — the behaviours most likely to
+// stress the policy.
+
+// benignServerAddr derives per-program service addresses.
+func benignServerAddr(i int) gnet.Addr {
+	return gnet.Addr{IP: fmt.Sprintf("40.90.4.%d", 10+i), Port: 443}
+}
+
+// remoteDesktopProgram: screen capture streamed out, commands received
+// (Remote Utility / TeamViewer shape).
+func remoteDesktopProgram(name string, addr gnet.Addr, rounds uint32) Program {
+	b := peimg.NewBuilder(name)
+	buf := b.BSS(1024)
+	emitConnect(b, addr)
+	emitBoundedLoop(b, "rd", rounds, func() {
+		b.Text.Movi(isa.EBX, buf)
+		b.Text.Movi(isa.ECX, 128)
+		b.CallImport("ReadScreen")
+		emitSendBuf(b, buf, 0, true)
+		emitRecv(b, buf, 16) // remote input events
+		emitSleep(b, 300)
+	})
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// snippingProgram: one screenshot to disk.
+func snippingProgram(name string) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("out").DataString("snip.png")
+	buf := b.BSS(1024)
+	b.Text.Movi(isa.EBX, buf)
+	b.Text.Movi(isa.ECX, 256)
+	b.CallImport("ReadScreen")
+	b.Text.Push(isa.EAX)
+	b.Text.Movi(isa.EBX, b.MustDataVA("out"))
+	b.CallImport("CreateFileA")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.Text.Pop(isa.EDX)
+	b.Text.Movi(isa.ECX, buf)
+	b.CallImport("WriteFile")
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// voipProgram: audio out, audio in (Skype shape).
+func voipProgram(name string, addr gnet.Addr) Program {
+	b := peimg.NewBuilder(name)
+	buf := b.BSS(1024)
+	emitConnect(b, addr)
+	emitBoundedLoop(b, "call", 3, func() {
+		b.Text.Movi(isa.EBX, buf)
+		b.Text.Movi(isa.ECX, 64)
+		b.CallImport("ReadAudio")
+		b.Text.Cmpi(isa.EAX, 0)
+		b.Text.Jz("call_noaudio")
+		emitSendBuf(b, buf, 0, true)
+		b.Text.Label("call_noaudio")
+		emitRecv(b, buf, 64) // far-end audio
+		emitSleep(b, 400)
+	})
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// downloadToDiskProgram: fetch a blob, save it (browser download shape).
+func downloadToDiskProgram(name string, addr gnet.Addr, out string, n uint32) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("out").DataString(out)
+	buf := b.BSS(4096)
+	emitConnect(b, addr)
+	emitRecv(b, buf, n)
+	b.Text.Push(isa.EAX)
+	b.Text.Movi(isa.EBX, b.MustDataVA("out"))
+	b.CallImport("CreateFileA")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.Text.Pop(isa.EDX)
+	b.Text.Movi(isa.ECX, buf)
+	b.CallImport("WriteFile")
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// uploadProgram: read a local file, send it (ftp/backup shape).
+func uploadProgram(name string, addr gnet.Addr, src string) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("src").DataString(src)
+	buf := b.BSS(1024)
+	emitConnect(b, addr)
+	b.Text.Movi(isa.EBX, b.MustDataVA("src"))
+	b.CallImport("OpenFileA")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.Text.Movi(isa.ECX, buf)
+	b.Text.Movi(isa.EDX, 256)
+	b.CallImport("ReadFile")
+	emitSendBuf(b, buf, 0, true)
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// dllUpdaterProgram downloads a plugin DLL, writes it to disk, and loads it
+// with LoadLibraryA — the legitimate runtime-linking path. The DLL's code
+// bytes carry netflow taint, but the loader resolves its imports natively
+// and the DLL never walks the export table, so FAROS must stay quiet. This
+// is the sharpest negative control in the corpus.
+func dllUpdaterProgram(name string, addr gnet.Addr, dll []byte) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("dllpath").DataString("plugin.dll")
+	buf := b.BSS(8192)
+	n := uint32(len(dll))
+	emitConnect(b, addr)
+	emitRecv(b, buf, n)
+	b.Text.Movi(isa.EBX, b.MustDataVA("dllpath"))
+	b.CallImport("CreateFileA")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.Text.Movi(isa.ECX, buf)
+	b.Text.Movi(isa.EDX, n)
+	b.CallImport("WriteFile")
+	// LoadLibraryA returns the plugin entry point; call it.
+	b.Text.Movi(isa.EBX, b.MustDataVA("dllpath"))
+	b.CallImport("LoadLibraryA")
+	b.Text.Cmpi(isa.EAX, 0xFFFFFFFF)
+	b.Text.Jz("skip")
+	b.Text.Mov(isa.EBP, isa.EAX)
+	b.Text.CallReg(isa.EBP)
+	b.Text.Label("skip")
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// PluginDLL builds the benign plugin loaded by the updater. It lives at a
+// non-conflicting base and announces itself via its loader-resolved import.
+func PluginDLL() []byte {
+	b := peimg.NewBuilder("plugin.dll")
+	b.Base = 0x60000000
+	b.DataBlk.Label("msg").DataString("plugin.dll initialized")
+	b.Text.Label("DllMain")
+	emitDebugPrint(b, "msg")
+	b.Text.Ret()
+	b.SetEntry("DllMain")
+	b.AddExport("DllMain", "DllMain")
+	raw, err := b.BuildBytes()
+	if err != nil {
+		panic(fmt.Sprintf("samples: plugin dll: %v", err))
+	}
+	return raw
+}
+
+// runtimeResolverProgram resolves its APIs at runtime through ntdll's
+// GetProcAddress instead of import thunks (clock/utility shape) — the
+// benign counterpart of what injected payloads do manually.
+func runtimeResolverProgram(name string) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("msg").DataString(name + ": runtime-linked ok")
+	b.Text.Movi(isa.EBX, peimg.HashName("DebugPrint"))
+	b.CallImport("GetProcAddress")
+	b.Text.Mov(isa.EBP, isa.EAX)
+	b.Text.Movi(isa.EBX, b.MustDataVA("msg"))
+	b.Text.CallReg(isa.EBP)
+	b.Text.Movi(isa.EBX, peimg.HashName("GetTickCount"))
+	b.CallImport("GetProcAddress")
+	b.Text.Mov(isa.EBP, isa.EAX)
+	b.Text.CallReg(isa.EBP)
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// editorProgram: keyboard to file (notepad-with-a-document shape).
+func editorProgram(name string) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("doc").DataString("mydoc.txt")
+	buf := b.BSS(256)
+	b.Text.Movi(isa.EBX, b.MustDataVA("doc"))
+	b.CallImport("CreateFileA")
+	b.Text.Push(isa.EAX)
+	emitBoundedLoop(b, "ed", 3, func() {
+		b.Text.Movi(isa.EBX, buf)
+		b.Text.Movi(isa.ECX, 64)
+		b.CallImport("ReadKeyboard")
+		b.Text.Cmpi(isa.EAX, 0)
+		b.Text.Jz("ed_skip")
+		b.Text.Mov(isa.EDX, isa.EAX)
+		b.Text.Ld(isa.EBX, isa.ESP, 4)
+		b.Text.Movi(isa.ECX, buf)
+		b.CallImport("WriteFile")
+		b.Text.Label("ed_skip")
+		emitSleep(b, 400)
+	})
+	b.Text.Pop(isa.EAX)
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// computeProgram: pure CPU work (calculator shape).
+func computeProgram(name string) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("done").DataString(name + ": computed")
+	b.Text.Movi(isa.EAX, 1)
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Label("l")
+	b.Text.Cmpi(isa.ECX, 500)
+	b.Text.Jge("d")
+	b.Text.Muli(isa.EAX, 3)
+	b.Text.Addi(isa.EAX, 7)
+	b.Text.Addi(isa.ECX, 1)
+	b.Text.Jmp("l")
+	b.Text.Label("d")
+	emitDebugPrint(b, "done")
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// copyFileProgram: file-to-file copy (backup shape).
+func copyFileProgram(name, src, dst string) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("src").DataString(src)
+	b.DataBlk.Label("dst").DataString(dst)
+	buf := b.BSS(1024)
+	b.Text.Movi(isa.EBX, b.MustDataVA("src"))
+	b.CallImport("OpenFileA")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.Text.Movi(isa.ECX, buf)
+	b.Text.Movi(isa.EDX, 512)
+	b.CallImport("ReadFile")
+	b.Text.Push(isa.EAX)
+	b.Text.Movi(isa.EBX, b.MustDataVA("dst"))
+	b.CallImport("CreateFileA")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.Text.Pop(isa.EDX)
+	b.Text.Movi(isa.ECX, buf)
+	b.CallImport("WriteFile")
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// chatProgram: interactive send/recv loop.
+func chatProgram(name string, addr gnet.Addr) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("hello").DataString("hi there")
+	buf := b.BSS(256)
+	emitConnect(b, addr)
+	emitSendBuf(b, b.MustDataVA("hello"), 9, false)
+	emitRecv(b, buf, 64)
+	b.Text.Movi(isa.EBX, buf)
+	b.CallImport("DebugPrint")
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// BenignPrograms returns the 14 benign scenarios of the FP corpus.
+func BenignPrograms() []Spec {
+	mk := func(i int, name string, progs []Program, eps []EndpointSpec, events []record.Event) Spec {
+		starts := make([]string, 0, 1)
+		if len(progs) > 0 {
+			starts = append(starts, progs[0].Path)
+		}
+		return Spec{
+			Name:       fmt.Sprintf("benign_%02d_%s", i, sanitizeName(name)),
+			Programs:   progs,
+			AutoStart:  starts,
+			Endpoints:  eps,
+			Events:     events,
+			MaxInstr:   3_000_000,
+			ExpectFlag: false,
+		}
+	}
+	devices := corpusDeviceScript()
+	talker := func(i int) []EndpointSpec {
+		return []EndpointSpec{{Addr: benignServerAddr(i), Endpoint: chatterbox{
+			banner: []byte("srv-hello\x00"), reply: []byte("srv-ack\x00"), delay: 400,
+		}}}
+	}
+
+	dll := PluginDLL()
+	return []Spec{
+		mk(0, "Remote Utility", []Program{remoteDesktopProgram("remote_utility.exe", benignServerAddr(0), 3)}, talker(0), devices),
+		mk(1, "TeamViewer", []Program{remoteDesktopProgram("teamviewer.exe", benignServerAddr(1), 2)}, talker(1), devices),
+		mk(2, "Win7 snipping tool", []Program{snippingProgram("snippingtool.exe")}, nil, nil),
+		mk(3, "Skype", []Program{voipProgram("skype.exe", benignServerAddr(3))}, talker(3), devices),
+		mk(4, "browser download", []Program{downloadToDiskProgram("browser.exe", benignServerAddr(4), "setup.bin", 32)}, []EndpointSpec{{Addr: benignServerAddr(4), Endpoint: oneShot{delay: 400, payload: []byte("binary-blob-contents-here-000001")}}}, nil),
+		mk(5, "ftp upload", []Program{uploadProgram("ftpclient.exe", benignServerAddr(5), "secrets.txt")}, []EndpointSpec{{Addr: benignServerAddr(5), Endpoint: sink{}}}, nil),
+		mk(6, "software updater", []Program{dllUpdaterProgram("winupdate.exe", benignServerAddr(6), dll)}, []EndpointSpec{{Addr: benignServerAddr(6), Endpoint: oneShot{delay: 400, payload: dll}}}, nil),
+		mk(7, "runtime resolver clock", []Program{runtimeResolverProgram("clock.exe")}, nil, nil),
+		mk(8, "editor", []Program{editorProgram("wordpad.exe")}, nil, devices),
+		mk(9, "calculator", []Program{computeProgram("calc.exe")}, nil, nil),
+		mk(10, "backup tool", []Program{copyFileProgram("backup.exe", "document_0.txt", "backup_0.txt")}, nil, nil),
+		mk(11, "chat client", []Program{chatProgram("chat.exe", benignServerAddr(11))}, talker(11), nil),
+		mk(12, "media player", []Program{copyFileProgram("mediaplayer.exe", "document_1.txt", "cache.dat")}, nil, nil),
+		mk(13, "installer", []Program{downloadToDiskProgram("installer.exe", benignServerAddr(13), "app.pkg", 24)}, []EndpointSpec{{Addr: benignServerAddr(13), Endpoint: oneShot{delay: 400, payload: []byte("pkg-payload-24-bytes-xxx")}}}, nil),
+	}
+}

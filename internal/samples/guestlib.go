@@ -1,0 +1,128 @@
+package samples
+
+import (
+	"faros/internal/guest/gnet"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+)
+
+// guestlib: code-generation helpers shared by the sample programs. The
+// WinMini calling convention everywhere: args in EBX/ECX/EDX/ESI, result in
+// EAX, EDI clobbered as the linkage scratch.
+
+// emitConnect emits socket()+connect(addr); the socket handle ends in EBP.
+// Requires a data label "c2ip" holding the IP string.
+func emitConnect(b *peimg.Builder, addr gnet.Addr) {
+	b.DataBlk.Label("c2ip").DataString(addr.IP)
+	b.CallImport("Socket")
+	b.Text.Mov(isa.EBP, isa.EAX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, b.MustDataVA("c2ip"))
+	b.Text.Movi(isa.EDX, uint32(addr.Port))
+	b.CallImport("Connect")
+}
+
+// emitRecv emits recv(EBP socket, buf, n); bytes received return in EAX.
+func emitRecv(b *peimg.Builder, bufVA, n uint32) {
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, bufVA)
+	b.Text.Movi(isa.EDX, n)
+	b.CallImport("Recv")
+}
+
+// emitSendBuf emits send(EBP socket, buf, n) with n taken from EAX when
+// nFromEAX is set.
+func emitSendBuf(b *peimg.Builder, bufVA uint32, n uint32, nFromEAX bool) {
+	if nFromEAX {
+		b.Text.Mov(isa.EDX, isa.EAX)
+	} else {
+		b.Text.Movi(isa.EDX, n)
+	}
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, bufVA)
+	b.CallImport("Send")
+}
+
+// emitExit emits ExitProcess(code).
+func emitExit(b *peimg.Builder, code uint32) {
+	b.Text.Movi(isa.EBX, code)
+	b.CallImport("ExitProcess")
+}
+
+// emitSleep emits Sleep(n).
+func emitSleep(b *peimg.Builder, n uint32) {
+	b.Text.Movi(isa.EBX, n)
+	b.CallImport("Sleep")
+}
+
+// emitDebugPrint emits DebugPrint(labeled string).
+func emitDebugPrint(b *peimg.Builder, label string) {
+	b.Text.Movi(isa.EBX, b.MustDataVA(label))
+	b.CallImport("DebugPrint")
+}
+
+// emitSleepLoopForever emits the idle tail used by victim processes.
+func emitSleepLoopForever(b *peimg.Builder, interval uint32, loopLabel string) {
+	b.Text.Label(loopLabel)
+	emitSleep(b, interval)
+	b.Text.Jmp(loopLabel)
+}
+
+// emitBoundedLoop wraps body in a counted loop using a stack slot for the
+// counter, so body may clobber any register except ESP discipline.
+func emitBoundedLoop(b *peimg.Builder, label string, iterations uint32, body func()) {
+	b.Text.Movi(isa.EAX, 0)
+	b.Text.Push(isa.EAX)
+	b.Text.Label(label + "_top")
+	b.Text.Ld(isa.EAX, isa.ESP, 0)
+	b.Text.Cmpi(isa.EAX, iterations)
+	b.Text.Jge(label + "_end")
+	body()
+	b.Text.Ld(isa.EAX, isa.ESP, 0)
+	b.Text.Addi(isa.EAX, 1)
+	b.Text.St(isa.ESP, 0, isa.EAX)
+	b.Text.Jmp(label + "_top")
+	b.Text.Label(label + "_end")
+	b.Text.Pop(isa.EAX)
+}
+
+// emitFindAndOpenProcess finds victimLabel's process by name and leaves an
+// open handle in EBP.
+func emitFindAndOpenProcess(b *peimg.Builder, victimNameLabel string) {
+	b.Text.Movi(isa.EBX, b.MustDataVA(victimNameLabel))
+	b.CallImport("FindProcessA")
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.CallImport("OpenProcess")
+	b.Text.Mov(isa.EBP, isa.EAX)
+}
+
+// emitInjectAndRun emits the classic remote-injection triple against the
+// process handle in EBP: VirtualAlloc(RWX) in the target, WriteProcessMemory
+// of [srcVA, srcVA+n), CreateRemoteThread at the allocation.
+func emitInjectAndRun(b *peimg.Builder, srcVA, n uint32) {
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Movi(isa.EDX, n)
+	b.Text.Movi(isa.ESI, 7) // rwx
+	b.CallImport("VirtualAlloc")
+	b.Text.Push(isa.EAX)
+
+	b.Text.Mov(isa.ECX, isa.EAX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.EDX, srcVA)
+	b.Text.Movi(isa.ESI, n)
+	b.CallImport("WriteProcessMemory")
+
+	b.Text.Pop(isa.ECX)
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.CallImport("CreateRemoteThread")
+}
+
+// victimProgram builds an idle victim process (notepad.exe, svchost.exe,
+// firefox.exe, explorer.exe): it sleeps forever, standing in for a message
+// pump.
+func victimProgram(name string) Program {
+	b := peimg.NewBuilder(name)
+	emitSleepLoopForever(b, 300, "pump")
+	return build(b, name)
+}

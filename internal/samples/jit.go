@@ -1,0 +1,217 @@
+package samples
+
+import (
+	"fmt"
+
+	"faros/internal/guest/gnet"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+)
+
+// Table III workloads: Java applets and AJAX websites exercised through a
+// miniature JIT. The runtime downloads "bytecode" from the site, emits
+// native FAROS-32 code into an RWX code cache, appends a native epilogue
+// that resolves DebugPrint by walking the kernel export table (JIT runtimes
+// inline their own linking), and executes the cache.
+//
+// Two of the Java applets are "leaky": their applet bundle ships a
+// precompiled native stub which the JIT copies *verbatim from the network
+// buffer* into the code cache. The copied stub carries netflow taint on its
+// instruction bytes, so its export-table walk is indistinguishable from an
+// injection — the paper's 10%-of-applets false-positive mechanism. The
+// other 18 workloads synthesize the epilogue from an image-embedded
+// template (file taint only) and stay clean.
+
+// JavaApplets lists the Table III applet names.
+func JavaApplets() []string {
+	return []string{
+		"acceleration", "equilibrium", "pulleysystem", "projectile",
+		"ncradle", "keplerlaw1", "inclplane", "lever", "keplerlaw2",
+		"collision",
+	}
+}
+
+// AJAXSites lists the Table III websites.
+func AJAXSites() []string {
+	return []string{
+		"gmail.com", "maps.google.com", "kayak.com", "netflix.com/top100",
+		"kiko.com", "backpackit.com", "sudokucarving.com",
+		"pressdisplay.com", "rpad.com", "brainking.com",
+	}
+}
+
+// LeakyApplets are the two workloads whose JIT path copies network bytes
+// into the code cache (the paper reports 2 of 20 flagged; which two is not
+// named in the paper, so the choice here is arbitrary and documented).
+func LeakyApplets() map[string]bool {
+	return map[string]bool{"equilibrium": true, "collision": true}
+}
+
+// buildJITStub builds the position-independent native epilogue: walk the
+// export table, resolve DebugPrint, print a marker, return to the JIT.
+func buildJITStub(marker string) []byte {
+	pb := isa.NewBlock()
+	pb.Jmp("entry")
+	resolveSub(pb)
+	pb.Label("entry")
+	emitResolveTo(pb, "DebugPrint", isa.EDX)
+	pb.LeaSelf(isa.EBX, "marker")
+	pb.CallReg(isa.EDX)
+	pb.Ret()
+	pb.Label("marker").DataString(marker)
+	code, err := pb.Assemble(0)
+	if err != nil {
+		panic(fmt.Sprintf("samples: jit stub: %v", err))
+	}
+	return code
+}
+
+// jitSiteAddr derives a deterministic fake server address per site.
+func jitSiteAddr(index int) gnet.Addr {
+	return gnet.Addr{IP: fmt.Sprintf("93.184.216.%d", 10+index), Port: 80}
+}
+
+// jitRuntime builds the JIT host program (java.exe or browser.exe flavor).
+//
+// Protocol: the site sends bytecodeLen bytecode bytes followed, for leaky
+// bundles, by the precompiled native stub. The runtime emits one
+// MOV EAX, <b> instruction per bytecode byte into the code cache, then
+// appends the epilogue stub — copied from the network buffer when leaky,
+// from its own image template otherwise — and calls the cache.
+func jitRuntime(name string, site gnet.Addr, bytecodeLen, stubLen uint32, leaky bool, stub []byte) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("template").Data(stub)
+	rxBuf := b.BSS(8192)
+	total := bytecodeLen
+	if leaky {
+		total += stubLen
+	}
+
+	emitConnect(b, site)
+	emitRecv(b, rxBuf, total)
+
+	// Code cache.
+	b.Text.Movi(isa.EBX, 0)
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Movi(isa.EDX, bytecodeLen*8+stubLen)
+	b.Text.Movi(isa.ESI, 7)
+	b.CallImport("VirtualAlloc")
+	b.Text.Mov(isa.EBP, isa.EAX) // cache base
+
+	// Phase 1 — translate: for each bytecode byte emit MOV EAX, <b>.
+	// The immediate byte is copied from the (tainted) input; MOV-immediate
+	// instructions never read memory, so this alone cannot trip the policy.
+	b.Text.Movi(isa.ECX, 0) // bytecode index
+	b.Text.Label("emit")
+	b.Text.Cmpi(isa.ECX, bytecodeLen)
+	b.Text.Jge("emitted")
+	// dst offset = i*8 → EDX
+	b.Text.Mov(isa.EDX, isa.ECX)
+	b.Text.Shli(isa.EDX, 3)
+	b.Text.Add(isa.EDX, isa.EBP)
+	// [EDX+0] = OpMov, [EDX+1] = ModeRI, rest zero, [EDX+4] = bytecode[i]
+	b.Text.Movi(isa.EAX, uint32(isa.OpMov))
+	b.Text.Stb(isa.EDX, 0, isa.EAX)
+	b.Text.Movi(isa.EAX, uint32(isa.ModeRI))
+	b.Text.Stb(isa.EDX, 1, isa.EAX)
+	b.Text.Movi(isa.EAX, 0)
+	b.Text.Stb(isa.EDX, 2, isa.EAX)
+	b.Text.Stb(isa.EDX, 3, isa.EAX)
+	b.Text.Stb(isa.EDX, 5, isa.EAX)
+	b.Text.Stb(isa.EDX, 6, isa.EAX)
+	b.Text.Stb(isa.EDX, 7, isa.EAX)
+	b.Text.Movi(isa.ESI, rxBuf)
+	b.Text.LdbIdx(isa.EAX, isa.ESI, isa.ECX) // tainted constant
+	b.Text.Stb(isa.EDX, 4, isa.EAX)
+	b.Text.Addi(isa.ECX, 1)
+	b.Text.Jmp("emit")
+	b.Text.Label("emitted")
+
+	// Phase 2 — link the native epilogue into the cache.
+	srcVA := b.MustDataVA("template")
+	if leaky {
+		srcVA = rxBuf + bytecodeLen
+	}
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Label("link")
+	b.Text.Cmpi(isa.ECX, stubLen)
+	b.Text.Jge("linked")
+	b.Text.Movi(isa.ESI, srcVA)
+	b.Text.LdbIdx(isa.EAX, isa.ESI, isa.ECX)
+	b.Text.Mov(isa.EDX, isa.EBP)
+	b.Text.Addi(isa.EDX, bytecodeLen*8)
+	b.Text.StbIdx(isa.EDX, isa.ECX, isa.EAX)
+	b.Text.Addi(isa.ECX, 1)
+	b.Text.Jmp("link")
+	b.Text.Label("linked")
+
+	// Execute the cache (the MOV chain falls through into the epilogue).
+	b.Text.CallReg(isa.EBP)
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// JITWorkload builds the scenario for one Table III entry.
+func JITWorkload(index int, site string, applet, leaky bool) Spec {
+	const bytecodeLen = 24
+	marker := "jit:" + site
+	stub := buildJITStub(marker)
+	addr := jitSiteAddr(index)
+
+	// The site serves bytecode (deterministic pseudo-bytes) and, for leaky
+	// bundles, the precompiled stub.
+	payload := make([]byte, bytecodeLen)
+	for i := range payload {
+		payload[i] = byte(7*i + index + 13)
+	}
+	if leaky {
+		payload = append(payload, stub...)
+	}
+
+	host := "java.exe"
+	if !applet {
+		host = "browser.exe"
+	}
+	expectRule := ""
+	if leaky {
+		expectRule = "netflow-export"
+	}
+	name := fmt.Sprintf("%s_%02d_%s", host, index, sanitize(site))
+	return Spec{
+		Name: "jit_" + sanitize(site),
+		Programs: []Program{
+			jitRuntime(name, addr, bytecodeLen, uint32(len(stub)), leaky, stub),
+		},
+		AutoStart:  []string{name},
+		Endpoints:  []EndpointSpec{{Addr: addr, Endpoint: oneShot{delay: 400, payload: payload}}},
+		MaxInstr:   6_000_000,
+		ExpectFlag: leaky,
+		ExpectRule: expectRule,
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '.' || c == '/' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// JITWorkloads returns all 20 Table III scenarios: 10 Java applets (2
+// leaky) and 10 AJAX sites (clean).
+func JITWorkloads() []Spec {
+	leaky := LeakyApplets()
+	var out []Spec
+	for i, applet := range JavaApplets() {
+		out = append(out, JITWorkload(i, applet, true, leaky[applet]))
+	}
+	for i, site := range AJAXSites() {
+		out = append(out, JITWorkload(10+i, site, false, false))
+	}
+	return out
+}

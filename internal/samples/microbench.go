@@ -1,0 +1,177 @@
+package samples
+
+import (
+	"faros/internal/isa"
+	"faros/internal/peimg"
+)
+
+// Indirect-flow microbenchmarks: the paper's Figure 1 (address dependency
+// through a lookup table) and Figure 2 (control dependency, bit-by-bit
+// copy) as guest workloads. The farosbench `indirect` experiment runs them
+// under the default policy (no indirect-flow propagation) and under the
+// address-dependency ablation to show the undertainting/overtainting
+// trade-off of §III–IV.
+
+// IndirectWorkload is a microbenchmark spec plus the buffer addresses to
+// inspect afterwards.
+type IndirectWorkload struct {
+	Spec  Spec
+	SrcVA uint32 // tainted input buffer
+	DstVA uint32 // output buffer whose taint is under test
+	Len   uint32
+}
+
+// Figure1Workload builds the lookup-table copy: str2[j] = table[str1[j]].
+func Figure1Workload() IndirectWorkload {
+	const n = 14
+	b := peimg.NewBuilder("fig1.exe")
+	table := b.BSS(256)
+	str1 := b.BSS(32)
+	str2 := b.BSS(32)
+
+	emitConnect(b, AttackerAddr)
+	emitRecv(b, str1, n)
+
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Movi(isa.EBX, table)
+	b.Text.Label("init")
+	b.Text.Cmpi(isa.ECX, 256)
+	b.Text.Jge("copy")
+	b.Text.StbIdx(isa.EBX, isa.ECX, isa.ECX)
+	b.Text.Addi(isa.ECX, 1)
+	b.Text.Jmp("init")
+	b.Text.Label("copy")
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Label("loop")
+	b.Text.Cmpi(isa.ECX, n)
+	b.Text.Jge("done")
+	b.Text.Movi(isa.ESI, str1)
+	b.Text.LdbIdx(isa.EAX, isa.ESI, isa.ECX)
+	b.Text.Movi(isa.ESI, table)
+	b.Text.LdbIdx(isa.EDX, isa.ESI, isa.EAX) // the address dependency
+	b.Text.Movi(isa.ESI, str2)
+	b.Text.StbIdx(isa.ESI, isa.ECX, isa.EDX)
+	b.Text.Addi(isa.ECX, 1)
+	b.Text.Jmp("loop")
+	b.Text.Label("done")
+	emitExit(b, 0)
+
+	return IndirectWorkload{
+		Spec: Spec{
+			Name:      "fig1_address_dependency",
+			Programs:  []Program{build(b, "fig1.exe")},
+			AutoStart: []string{"fig1.exe"},
+			Endpoints: []EndpointSpec{{Addr: AttackerAddr, Endpoint: oneShot{delay: 300, payload: []byte("Tainted string")}}},
+			MaxInstr:  5_000_000,
+		},
+		SrcVA: str1, DstVA: str2, Len: n,
+	}
+}
+
+// OvertaintWorkload is a decoder-style program stressing address
+// dependencies: it downloads a 1 KiB tainted block and runs three
+// generations of table-lookup transforms over it (out[i] = table[in[i]]),
+// the pattern §III says dominates real systems (decompression, decoding,
+// string handling). Under the default policy the outputs stay untainted
+// (undertainting); with address-dependency propagation on, taint floods
+// every generation (overtainting) — the ablation's measured blow-up.
+func OvertaintWorkload() IndirectWorkload {
+	const n = 1024
+	b := peimg.NewBuilder("decoder.exe")
+	table := b.BSS(256)
+	in := b.BSS(n)
+	gen1 := b.BSS(n)
+	gen2 := b.BSS(n)
+	gen3 := b.BSS(n)
+
+	emitConnect(b, AttackerAddr)
+	emitRecv(b, in, n)
+
+	// Identity table.
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Movi(isa.EBX, table)
+	b.Text.Label("init")
+	b.Text.Cmpi(isa.ECX, 256)
+	b.Text.Jge("g1")
+	b.Text.StbIdx(isa.EBX, isa.ECX, isa.ECX)
+	b.Text.Addi(isa.ECX, 1)
+	b.Text.Jmp("init")
+
+	gen := func(label, next string, src, dst uint32) {
+		b.Text.Label(label)
+		b.Text.Movi(isa.ECX, 0)
+		b.Text.Label(label + "_loop")
+		b.Text.Cmpi(isa.ECX, n)
+		b.Text.Jge(next)
+		b.Text.Movi(isa.ESI, src)
+		b.Text.LdbIdx(isa.EAX, isa.ESI, isa.ECX)
+		b.Text.Andi(isa.EAX, 0xFF)
+		b.Text.Movi(isa.ESI, table)
+		b.Text.LdbIdx(isa.EDX, isa.ESI, isa.EAX) // address dependency
+		b.Text.Movi(isa.ESI, dst)
+		b.Text.StbIdx(isa.ESI, isa.ECX, isa.EDX)
+		b.Text.Addi(isa.ECX, 1)
+		b.Text.Jmp(label + "_loop")
+	}
+	gen("g1", "g2", in, gen1)
+	gen("g2", "g3", gen1, gen2)
+	gen("g3", "fin", gen2, gen3)
+	b.Text.Label("fin")
+	emitExit(b, 0)
+
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i*31 + 7)
+	}
+	return IndirectWorkload{
+		Spec: Spec{
+			Name:      "overtaint_decoder",
+			Programs:  []Program{build(b, "decoder.exe")},
+			AutoStart: []string{"decoder.exe"},
+			Endpoints: []EndpointSpec{{Addr: AttackerAddr, Endpoint: oneShot{delay: 300, payload: payload}}},
+			MaxInstr:  20_000_000,
+		},
+		SrcVA: in, DstVA: gen3, Len: n,
+	}
+}
+
+// Figure2Workload builds the bit-by-bit copy through if statements.
+func Figure2Workload() IndirectWorkload {
+	b := peimg.NewBuilder("fig2.exe")
+	in := b.BSS(16)
+	out := b.BSS(16)
+
+	emitConnect(b, AttackerAddr)
+	emitRecv(b, in, 1)
+
+	b.Text.Movi(isa.EBX, in)
+	b.Text.Ldb(isa.EAX, isa.EBX, 0) // tainted input
+	b.Text.Movi(isa.EDX, 0)         // untainted output
+	b.Text.Movi(isa.ECX, 1)         // bit
+	b.Text.Label("loop")
+	b.Text.Cmpi(isa.ECX, 256)
+	b.Text.Jge("done")
+	b.Text.Mov(isa.ESI, isa.EAX)
+	b.Text.And(isa.ESI, isa.ECX)
+	b.Text.Cmpi(isa.ESI, 0)
+	b.Text.Jz("skip")
+	b.Text.Or(isa.EDX, isa.ECX) // the control dependency
+	b.Text.Label("skip")
+	b.Text.Shli(isa.ECX, 1)
+	b.Text.Jmp("loop")
+	b.Text.Label("done")
+	b.Text.Movi(isa.EBX, out)
+	b.Text.Stb(isa.EBX, 0, isa.EDX)
+	emitExit(b, 0)
+
+	return IndirectWorkload{
+		Spec: Spec{
+			Name:      "fig2_control_dependency",
+			Programs:  []Program{build(b, "fig2.exe")},
+			AutoStart: []string{"fig2.exe"},
+			Endpoints: []EndpointSpec{{Addr: AttackerAddr, Endpoint: oneShot{delay: 300, payload: []byte{0xA7}}}},
+			MaxInstr:  5_000_000,
+		},
+		SrcVA: in, DstVA: out, Len: 1,
+	}
+}

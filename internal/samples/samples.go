@@ -1,0 +1,105 @@
+// Package samples contains the guest-program corpus of the reproduction:
+// the six in-memory-injection attacks of the paper's evaluation, the
+// injected payloads they deliver, the victim processes, the 20 JIT
+// workloads of Table III, the 104-sample false-positive corpus of Table IV
+// (90 non-injecting malware + 14 benign programs), and the six performance
+// workloads of Table V.
+//
+// Every sample is a real MZ32 program written in FAROS-32 assembly through
+// the peimg.Builder; payloads are raw position-independent code blobs
+// delivered over the simulated network or embedded in images.
+package samples
+
+import (
+	"fmt"
+
+	"faros/internal/guest/gnet"
+	"faros/internal/peimg"
+	"faros/internal/record"
+)
+
+// Program is a built guest binary ready to install in the guest FS.
+type Program struct {
+	Path  string
+	Bytes []byte
+}
+
+// EndpointSpec binds a scripted remote host to an address.
+type EndpointSpec struct {
+	Addr     gnet.Addr
+	Endpoint gnet.Endpoint
+}
+
+// Spec is a complete runnable scenario: programs, start order, remote
+// endpoints, and scripted device input.
+type Spec struct {
+	Name      string
+	Programs  []Program
+	AutoStart []string
+	Endpoints []EndpointSpec
+	Events    []record.Event
+	// MaxInstr bounds the run (0 = scenario default).
+	MaxInstr uint64
+	// ExpectRule, when non-empty, is the FAROS rule expected to fire.
+	ExpectRule string
+	// ExpectFlag is whether FAROS should flag the scenario.
+	ExpectFlag bool
+}
+
+// build assembles a builder into a Program, panicking on builder errors
+// (sample construction is fully test-covered).
+func build(b *peimg.Builder, path string) Program {
+	raw, err := b.BuildBytes()
+	if err != nil {
+		panic(fmt.Sprintf("samples: build %s: %v", path, err))
+	}
+	return Program{Path: path, Bytes: raw}
+}
+
+// AttackerAddr is the attacker machine of the paper's testbed.
+var AttackerAddr = gnet.Addr{IP: "169.254.26.161", Port: 4444}
+
+// AttackerShellAddr is the secondary connect-back port used by RAT
+// payloads.
+var AttackerShellAddr = gnet.Addr{IP: "169.254.26.161", Port: 5555}
+
+// oneShot is an endpoint that delivers one payload after connect and
+// ignores sends.
+type oneShot struct {
+	delay   uint64
+	payload []byte
+}
+
+func (e oneShot) OnConnect(gnet.Flow) []gnet.Reply {
+	return []gnet.Reply{{DelayInstr: e.delay, Data: e.payload}}
+}
+
+func (e oneShot) OnData(gnet.Flow, []byte) []gnet.Reply { return nil }
+
+// sink accepts anything and replies nothing (upload targets).
+type sink struct{}
+
+func (sink) OnConnect(gnet.Flow) []gnet.Reply       { return nil }
+func (sink) OnData(gnet.Flow, []byte) []gnet.Reply  { return nil }
+
+// chatterbox replies to every send with a scripted response and pushes a
+// banner on connect (C2 servers, benign chat/remote-desktop peers).
+type chatterbox struct {
+	banner []byte
+	reply  []byte
+	delay  uint64
+}
+
+func (e chatterbox) OnConnect(gnet.Flow) []gnet.Reply {
+	if len(e.banner) == 0 {
+		return nil
+	}
+	return []gnet.Reply{{DelayInstr: e.delay, Data: e.banner}}
+}
+
+func (e chatterbox) OnData(gnet.Flow, []byte) []gnet.Reply {
+	if len(e.reply) == 0 {
+		return nil
+	}
+	return []gnet.Reply{{DelayInstr: e.delay, Data: e.reply}}
+}

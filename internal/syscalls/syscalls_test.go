@@ -1,0 +1,94 @@
+package syscalls
+
+import (
+	"strings"
+	"testing"
+
+	"faros/internal/guest"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+)
+
+func buildTracedKernel(t *testing.T) (*guest.Kernel, *Tracer, uint32) {
+	t.Helper()
+	k, err := guest.NewKernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Attach(k)
+	b := peimg.NewBuilder("traced.exe")
+	b.DataBlk.Label("msg").DataString("hello trace")
+	b.Text.Movi(isa.EBX, b.MustDataVA("msg"))
+	b.CallImport("DebugPrint")
+	b.Text.Movi(isa.EBX, 50)
+	b.CallImport("Sleep")
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ExitProcess")
+	raw, err := b.BuildBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.FS.Install("traced.exe", raw)
+	p, err := k.Spawn("traced.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	return k, tr, p.PID
+}
+
+func TestTracerRecordsCallsAndReturns(t *testing.T) {
+	_, tr, pid := buildTracedKernel(t)
+	recs := tr.ForProcess(pid)
+	if len(recs) != 3 {
+		t.Fatalf("records = %+v", recs)
+	}
+	want := []string{"NtDebugPrint", "NtDelayExecution", "NtExitProcess"}
+	for i, w := range want {
+		if recs[i].Name != w {
+			t.Errorf("rec[%d] = %s, want %s", i, recs[i].Name, w)
+		}
+	}
+	// DebugPrint returns synchronously; Sleep blocks; Exit terminates.
+	if !recs[0].HasRet || recs[0].Ret != 0 {
+		t.Errorf("DebugPrint ret = %+v", recs[0])
+	}
+	if recs[2].HasRet {
+		t.Error("ExitProcess should never return")
+	}
+	line := recs[0].String()
+	if !strings.Contains(line, "NtDebugPrint") || !strings.Contains(line, "traced.exe") || !strings.Contains(line, "= 0x0") {
+		t.Errorf("render = %q", line)
+	}
+}
+
+func TestTracerAggregates(t *testing.T) {
+	_, tr, pid := buildTracedKernel(t)
+	counts := tr.Counts()
+	if counts["NtDebugPrint"] != 1 || counts["NtExitProcess"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	names := tr.Names()
+	if len(names) != 3 {
+		t.Errorf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Errorf("names unsorted: %v", names)
+		}
+	}
+	if !tr.CalledBy(pid, "NtDebugPrint") {
+		t.Error("CalledBy miss")
+	}
+	if tr.CalledBy(pid, "NtWriteVirtualMemory") {
+		t.Error("CalledBy false hit")
+	}
+	if got := len(tr.Records()); got != 3 {
+		t.Errorf("Records = %d", got)
+	}
+	if tr.ForProcess(9999) != nil {
+		t.Error("records for bogus pid")
+	}
+}

@@ -1,0 +1,71 @@
+package taint
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The paper's §VI.D notes an attacker could try to exhaust FAROS' memory
+// by generating enormous amounts of tagged data. The store must saturate
+// gracefully: tag indices cap at 16 bits (the prov_tag format), the
+// counter records the loss, and nothing panics.
+
+func TestNetflowTagExhaustionSaturates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustion sweep in short mode")
+	}
+	s := NewStore(0)
+	for i := 0; i <= maxTagIndex+10; i++ {
+		nf := NetflowTag{SrcIP: fmt.Sprintf("10.%d.%d.%d", i>>16, (i>>8)&0xFF, i&0xFF), SrcPort: uint16(i)}
+		tag := s.InternNetflow(nf)
+		if tag.Type != TagNetflow {
+			t.Fatalf("tag %d: wrong type", i)
+		}
+	}
+	if s.Stats().TagsExhausted == 0 {
+		t.Error("exhaustion not counted")
+	}
+	// Saturated tags reuse the last index rather than corrupting state.
+	last := s.InternNetflow(NetflowTag{SrcIP: "overflow.example", SrcPort: 9})
+	if last.Index != maxTagIndex {
+		t.Errorf("saturated index = %d", last.Index)
+	}
+}
+
+func TestFileVersionChurnExhaustion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustion sweep in short mode")
+	}
+	s := NewStore(0)
+	// A malicious loop re-opening one file bumps versions forever; each
+	// version is a distinct tag until saturation.
+	for v := uint32(0); v <= maxTagIndex+5; v++ {
+		s.InternFile("spam.bin", v)
+	}
+	if s.Stats().TagsExhausted == 0 {
+		t.Error("file tag exhaustion not counted")
+	}
+}
+
+func TestListGrowthBoundedUnderChurn(t *testing.T) {
+	// Alternating process touches on one byte must not grow the interned
+	// list set unboundedly: with cap C and two tags, the set of reachable
+	// lists is finite.
+	s := NewStore(8)
+	a := s.InternProcess(1, 1, "a")
+	b := s.InternProcess(2, 2, "b")
+	id := s.Single(s.InternNetflow(NetflowTag{SrcIP: "x"}))
+	for i := 0; i < 10_000; i++ {
+		if i%2 == 0 {
+			id = s.Prepend(id, a)
+		} else {
+			id = s.Prepend(id, b)
+		}
+	}
+	if got := s.Stats().ListsInterned; got > 64 {
+		t.Errorf("interned lists = %d; churn must converge", got)
+	}
+	if len(s.Tags(id)) > 8 {
+		t.Errorf("list length %d exceeds cap", len(s.Tags(id)))
+	}
+}

@@ -1,0 +1,27 @@
+package taint
+
+// NumShadowRegs mirrors the CPU's general-purpose register count.
+const NumShadowRegs = 8
+
+// RegBank is the shadow register bank: one provenance list per CPU
+// register. The FAROS engine keeps one bank per process and swaps banks on
+// context switches, so taint follows data held in registers across
+// scheduling.
+type RegBank [NumShadowRegs]ProvID
+
+// Clear empties every register's provenance.
+func (rb *RegBank) Clear() {
+	for i := range rb {
+		rb[i] = 0
+	}
+}
+
+// AnyTainted reports whether any register carries taint.
+func (rb *RegBank) AnyTainted() bool {
+	for _, id := range rb {
+		if id != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,503 @@
+// Package taint implements the provenance-tracking substrate of FAROS:
+// typed provenance tags, interned provenance lists, the per-type tag hash
+// maps of the paper's Figure 5, the 3-byte prov_tag encoding of Figure 6,
+// and the shadow memory keyed by physical address.
+//
+// A provenance list records the chronology of a byte's life in the system,
+// newest activity at the head (the paper "adds a process tag into the head
+// of that byte's provenance list"). Lists are immutable and interned: a
+// ProvID names a list, and all propagation operates on ProvIDs, so copying
+// taint between a million bytes is a million 32-bit stores.
+package taint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TagType identifies the kind of system activity a tag records.
+type TagType uint8
+
+// Tag types (Figure 6).
+const (
+	TagNetflow TagType = iota + 1
+	TagProcess
+	TagFile
+	TagExportTable
+)
+
+// String returns the tag type name.
+func (tt TagType) String() string {
+	switch tt {
+	case TagNetflow:
+		return "NetFlow"
+	case TagProcess:
+		return "Process"
+	case TagFile:
+		return "File"
+	case TagExportTable:
+		return "ExportTable"
+	}
+	return fmt.Sprintf("TagType?%d", uint8(tt))
+}
+
+// Tag is the paper's prov_tag: one byte of type and a 16-bit index into the
+// hash map for that type (Figure 6). Export-table tags carry no index.
+type Tag struct {
+	Type  TagType
+	Index uint16
+}
+
+// Encode packs the tag into its 3-byte wire format.
+func (t Tag) Encode() [3]byte {
+	return [3]byte{byte(t.Type), byte(t.Index), byte(t.Index >> 8)}
+}
+
+// DecodeTag unpacks a 3-byte prov_tag.
+func DecodeTag(b [3]byte) (Tag, error) {
+	tt := TagType(b[0])
+	if tt < TagNetflow || tt > TagExportTable {
+		return Tag{}, fmt.Errorf("taint: invalid tag type %d", b[0])
+	}
+	return Tag{Type: tt, Index: uint16(b[1]) | uint16(b[2])<<8}, nil
+}
+
+// NetflowTag identifies a network connection (Figure 5).
+type NetflowTag struct {
+	SrcIP   string
+	SrcPort uint16
+	DstIP   string
+	DstPort uint16
+}
+
+// String renders the netflow in the paper's Table II style.
+func (n NetflowTag) String() string {
+	return fmt.Sprintf("{src ip,port: %s:%d, dest ip,port: %s:%d}", n.SrcIP, n.SrcPort, n.DstIP, n.DstPort)
+}
+
+// FileTag identifies a file and its access version (Figure 5).
+type FileTag struct {
+	Name    string
+	Version uint32
+}
+
+// ProcessTag identifies a process by its CR3 value, which uniquely
+// identifies a process at the architecture level (Figure 5). PID and name
+// are carried for report rendering only.
+type ProcessTag struct {
+	CR3  uint32
+	PID  uint32
+	Name string
+}
+
+// ProvID names an interned provenance list. Zero is the empty list.
+type ProvID uint32
+
+// Stats counts taint activity for the performance evaluation and the
+// overtainting ablation.
+type Stats struct {
+	ListsInterned  int
+	Prepends       uint64
+	Unions         uint64
+	ShadowWrites   uint64
+	TaintedBytes   int // live count of non-empty shadow bytes
+	TagsExhausted  uint64
+	ListsTruncated uint64
+}
+
+const shadowPageSize = 4096
+
+type shadowPage [shadowPageSize]ProvID
+
+// Store owns all taint state: interned lists, tag hash maps, and the shadow
+// memory over physical frames. It is not safe for concurrent use (the VM is
+// single-threaded and deterministic).
+type Store struct {
+	lists  [][]Tag // ProvID → tags, newest first; lists[0] is nil
+	intern map[string]ProvID
+	unions map[uint64]ProvID // memo for Union(a,b)
+
+	netflows   []NetflowTag
+	netflowIdx map[NetflowTag]uint16
+	files      []FileTag
+	fileIdx    map[FileTag]uint16
+	procs      []ProcessTag
+	procIdx    map[uint32]uint16 // by CR3
+
+	shadow  map[uint32]*shadowPage // physical frame → shadow page
+	listCap int
+	stats   Stats
+
+	// watch, when set, observes every shadow byte change (the lifecycle
+	// tracing hook). It fires only on actual changes.
+	watch func(pa uint64, old, new ProvID)
+}
+
+// DefaultListCap bounds provenance list length. When a list exceeds the cap
+// the oldest (origin) tag is preserved and middle history is truncated,
+// since the origin is what the analyst needs (where did this byte come
+// from) and the head is the attack-relevant recent history.
+const DefaultListCap = 16
+
+// NewStore creates an empty taint store. listCap ≤ 0 selects DefaultListCap.
+func NewStore(listCap int) *Store {
+	if listCap <= 0 {
+		listCap = DefaultListCap
+	}
+	if listCap < 2 {
+		listCap = 2
+	}
+	return &Store{
+		lists:      make([][]Tag, 1), // ProvID 0 = empty
+		intern:     make(map[string]ProvID),
+		unions:     make(map[uint64]ProvID),
+		netflowIdx: make(map[NetflowTag]uint16),
+		fileIdx:    make(map[FileTag]uint16),
+		procIdx:    make(map[uint32]uint16),
+		shadow:     make(map[uint32]*shadowPage),
+		listCap:    listCap,
+	}
+}
+
+// Stats returns a snapshot of taint activity counters.
+func (s *Store) Stats() Stats {
+	st := s.stats
+	st.ListsInterned = len(s.lists) - 1
+	return st
+}
+
+// --- tag hash maps (Figure 5) ---
+
+const maxTagIndex = 0xFFFF
+
+// InternNetflow returns the tag for a network connection, creating the hash
+// map entry on first sight.
+func (s *Store) InternNetflow(nf NetflowTag) Tag {
+	if idx, ok := s.netflowIdx[nf]; ok {
+		return Tag{Type: TagNetflow, Index: idx}
+	}
+	if len(s.netflows) > maxTagIndex {
+		s.stats.TagsExhausted++
+		return Tag{Type: TagNetflow, Index: maxTagIndex}
+	}
+	idx := uint16(len(s.netflows))
+	s.netflows = append(s.netflows, nf)
+	s.netflowIdx[nf] = idx
+	return Tag{Type: TagNetflow, Index: idx}
+}
+
+// InternFile returns the tag for (file, version).
+func (s *Store) InternFile(name string, version uint32) Tag {
+	ft := FileTag{Name: name, Version: version}
+	if idx, ok := s.fileIdx[ft]; ok {
+		return Tag{Type: TagFile, Index: idx}
+	}
+	if len(s.files) > maxTagIndex {
+		s.stats.TagsExhausted++
+		return Tag{Type: TagFile, Index: maxTagIndex}
+	}
+	idx := uint16(len(s.files))
+	s.files = append(s.files, ft)
+	s.fileIdx[ft] = idx
+	return Tag{Type: TagFile, Index: idx}
+}
+
+// InternProcess returns the tag for a process, keyed by CR3.
+func (s *Store) InternProcess(cr3, pid uint32, name string) Tag {
+	if idx, ok := s.procIdx[cr3]; ok {
+		return Tag{Type: TagProcess, Index: idx}
+	}
+	if len(s.procs) > maxTagIndex {
+		s.stats.TagsExhausted++
+		return Tag{Type: TagProcess, Index: maxTagIndex}
+	}
+	idx := uint16(len(s.procs))
+	s.procs = append(s.procs, ProcessTag{CR3: cr3, PID: pid, Name: name})
+	s.procIdx[cr3] = idx
+	return Tag{Type: TagProcess, Index: idx}
+}
+
+// ExportTableTag returns the singleton export-table tag. The paper's
+// implementation keeps no hash map for it because the tag itself is the
+// information.
+func (s *Store) ExportTableTag() Tag { return Tag{Type: TagExportTable} }
+
+// Netflow returns the netflow record behind a tag index.
+func (s *Store) Netflow(idx uint16) (NetflowTag, bool) {
+	if int(idx) >= len(s.netflows) {
+		return NetflowTag{}, false
+	}
+	return s.netflows[idx], true
+}
+
+// File returns the file record behind a tag index.
+func (s *Store) File(idx uint16) (FileTag, bool) {
+	if int(idx) >= len(s.files) {
+		return FileTag{}, false
+	}
+	return s.files[idx], true
+}
+
+// Process returns the process record behind a tag index.
+func (s *Store) Process(idx uint16) (ProcessTag, bool) {
+	if int(idx) >= len(s.procs) {
+		return ProcessTag{}, false
+	}
+	return s.procs[idx], true
+}
+
+// --- provenance lists ---
+
+// key builds the interning key from the 3-byte encodings.
+func listKey(tags []Tag) string {
+	var sb strings.Builder
+	sb.Grow(len(tags) * 3)
+	for _, t := range tags {
+		e := t.Encode()
+		sb.Write(e[:])
+	}
+	return sb.String()
+}
+
+// internList returns the ProvID for tags, interning a copy if new. tags is
+// newest-first and must already respect the cap.
+func (s *Store) internList(tags []Tag) ProvID {
+	if len(tags) == 0 {
+		return 0
+	}
+	k := listKey(tags)
+	if id, ok := s.intern[k]; ok {
+		return id
+	}
+	cp := make([]Tag, len(tags))
+	copy(cp, tags)
+	id := ProvID(len(s.lists))
+	s.lists = append(s.lists, cp)
+	s.intern[k] = id
+	return id
+}
+
+// capTags enforces the list cap, preserving the newest cap-1 tags and the
+// oldest (origin) tag.
+func (s *Store) capTags(tags []Tag) []Tag {
+	if len(tags) <= s.listCap {
+		return tags
+	}
+	s.stats.ListsTruncated++
+	out := make([]Tag, 0, s.listCap)
+	out = append(out, tags[:s.listCap-1]...)
+	out = append(out, tags[len(tags)-1])
+	return out
+}
+
+// Tags returns the list behind id, newest first. The returned slice must not
+// be modified.
+func (s *Store) Tags(id ProvID) []Tag {
+	if id == 0 || int(id) >= len(s.lists) {
+		return nil
+	}
+	return s.lists[id]
+}
+
+// Single returns the one-element list holding t.
+func (s *Store) Single(t Tag) ProvID {
+	return s.internList([]Tag{t})
+}
+
+// Prepend adds t at the head of list id (most recent activity). It is a
+// no-op when t is already the head, which keeps tight loops from growing
+// lists unboundedly.
+func (s *Store) Prepend(id ProvID, t Tag) ProvID {
+	s.stats.Prepends++
+	cur := s.Tags(id)
+	if len(cur) > 0 && cur[0] == t {
+		return id
+	}
+	tags := make([]Tag, 0, len(cur)+1)
+	tags = append(tags, t)
+	tags = append(tags, cur...)
+	return s.internList(s.capTags(tags))
+}
+
+// Union merges two lists (the computation-dependency rule of Table I):
+// the result holds a's tags followed by b's tags not already present,
+// preserving each side's internal chronology. Union is memoized.
+func (s *Store) Union(a, b ProvID) ProvID {
+	if a == b || b == 0 {
+		return a
+	}
+	if a == 0 {
+		return b
+	}
+	s.stats.Unions++
+	memo := uint64(a)<<32 | uint64(b)
+	if id, ok := s.unions[memo]; ok {
+		return id
+	}
+	ta, tb := s.Tags(a), s.Tags(b)
+	seen := make(map[Tag]struct{}, len(ta)+len(tb))
+	out := make([]Tag, 0, len(ta)+len(tb))
+	for _, t := range ta {
+		if _, dup := seen[t]; !dup {
+			seen[t] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	for _, t := range tb {
+		if _, dup := seen[t]; !dup {
+			seen[t] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	id := s.internList(s.capTags(out))
+	s.unions[memo] = id
+	return id
+}
+
+// Has reports whether list id contains a tag of type tt.
+func (s *Store) Has(id ProvID, tt TagType) bool {
+	for _, t := range s.Tags(id) {
+		if t.Type == tt {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstOfType returns the newest tag of type tt in list id.
+func (s *Store) FirstOfType(id ProvID, tt TagType) (Tag, bool) {
+	for _, t := range s.Tags(id) {
+		if t.Type == tt {
+			return t, true
+		}
+	}
+	return Tag{}, false
+}
+
+// DistinctProcesses returns the distinct process tag indices in list id,
+// newest first.
+func (s *Store) DistinctProcesses(id ProvID) []uint16 {
+	var out []uint16
+	for _, t := range s.Tags(id) {
+		if t.Type != TagProcess {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == t.Index {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, t.Index)
+		}
+	}
+	return out
+}
+
+// --- shadow memory (keyed by physical address) ---
+
+// MemGet returns the provenance of the byte at physical address pa.
+func (s *Store) MemGet(pa uint64) ProvID {
+	page, ok := s.shadow[uint32(pa/shadowPageSize)]
+	if !ok {
+		return 0
+	}
+	return page[pa%shadowPageSize]
+}
+
+// SetWatch installs (or clears, with nil) the shadow-change observer.
+func (s *Store) SetWatch(fn func(pa uint64, old, new ProvID)) { s.watch = fn }
+
+// MemSet sets the provenance of the byte at pa.
+func (s *Store) MemSet(pa uint64, id ProvID) {
+	s.stats.ShadowWrites++
+	frame := uint32(pa / shadowPageSize)
+	page, ok := s.shadow[frame]
+	if !ok {
+		if id == 0 {
+			return
+		}
+		page = new(shadowPage)
+		s.shadow[frame] = page
+	}
+	old := page[pa%shadowPageSize]
+	if old == 0 && id != 0 {
+		s.stats.TaintedBytes++
+	} else if old != 0 && id == 0 {
+		s.stats.TaintedBytes--
+	}
+	page[pa%shadowPageSize] = id
+	if s.watch != nil && old != id {
+		s.watch(pa, old, id)
+	}
+}
+
+// MemSetRange sets n consecutive physical bytes to id.
+func (s *Store) MemSetRange(pa uint64, n int, id ProvID) {
+	for i := 0; i < n; i++ {
+		s.MemSet(pa+uint64(i), id)
+	}
+}
+
+// MemUnion returns the union of the provenance of n consecutive bytes.
+func (s *Store) MemUnion(pa uint64, n int) ProvID {
+	var out ProvID
+	for i := 0; i < n; i++ {
+		out = s.Union(out, s.MemGet(pa+uint64(i)))
+	}
+	return out
+}
+
+// MemCopy copies n bytes of shadow state from src to dst (the kernel-copy
+// propagation path).
+func (s *Store) MemCopy(dst, src uint64, n int) {
+	for i := 0; i < n; i++ {
+		s.MemSet(dst+uint64(i), s.MemGet(src+uint64(i)))
+	}
+}
+
+// TaintedBytes returns the number of physical bytes carrying taint.
+func (s *Store) TaintedBytes() int { return s.stats.TaintedBytes }
+
+// --- rendering (Table II style) ---
+
+// TagString renders one tag.
+func (s *Store) TagString(t Tag) string {
+	switch t.Type {
+	case TagNetflow:
+		if nf, ok := s.Netflow(t.Index); ok {
+			return "NetFlow: " + nf.String()
+		}
+		return "NetFlow: ?"
+	case TagProcess:
+		if p, ok := s.Process(t.Index); ok {
+			return "Process: " + p.Name
+		}
+		return "Process: ?"
+	case TagFile:
+		if f, ok := s.File(t.Index); ok {
+			return fmt.Sprintf("File: %s (v%d)", f.Name, f.Version)
+		}
+		return "File: ?"
+	case TagExportTable:
+		return "ExportTable"
+	}
+	return "?"
+}
+
+// Render renders a provenance list in the paper's chronological style
+// (oldest activity first): "NetFlow: {...} ->Process: a.exe ->Process:
+// b.exe;".
+func (s *Store) Render(id ProvID) string {
+	tags := s.Tags(id)
+	if len(tags) == 0 {
+		return "<untainted>"
+	}
+	parts := make([]string, 0, len(tags))
+	for i := len(tags) - 1; i >= 0; i-- { // stored newest first; render oldest first
+		parts = append(parts, s.TagString(tags[i]))
+	}
+	return strings.Join(parts, " ->") + ";"
+}

@@ -1,0 +1,561 @@
+// Package vm implements the whole-system virtual machine: a single
+// deterministic FAROS-32 CPU executing over paged virtual memory, with a
+// plugin callback bus modeled on PANDA's.
+//
+// Analysis plugins (the FAROS DIFT engine, the Cuckoo baseline, tracers)
+// register hooks that fire before/after every instruction and on every data
+// memory access. The CPU itself knows nothing about processes or syscalls;
+// it raises traps that the guest kernel interprets.
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"faros/internal/isa"
+	"faros/internal/mem"
+)
+
+// Flags is the CPU condition-flag state set by CMP.
+type Flags struct {
+	Z bool // last comparison was equal
+	S bool // last comparison was signed less-than
+}
+
+// CPU is the architectural register state. It is copied wholesale on
+// context switches, so it contains no pointers.
+type CPU struct {
+	Regs  [isa.NumRegs]uint32
+	EIP   uint32
+	Flags Flags
+}
+
+// Trap is the reason Step returned control to the kernel.
+type Trap uint8
+
+// Trap kinds.
+const (
+	// TrapNone means the instruction completed; execution may continue.
+	TrapNone Trap = iota + 1
+	// TrapSyscall means a SYSCALL executed; EIP points after it.
+	TrapSyscall
+	// TrapHalt means HLT executed.
+	TrapHalt
+	// TrapFault means the instruction faulted (decode error or memory
+	// violation); EIP still points at the faulting instruction.
+	TrapFault
+)
+
+func (t Trap) String() string {
+	switch t {
+	case TrapNone:
+		return "none"
+	case TrapSyscall:
+		return "syscall"
+	case TrapHalt:
+		return "halt"
+	case TrapFault:
+		return "fault"
+	}
+	return "trap?"
+}
+
+// InstrHook observes an instruction about to execute (or just executed).
+// Before-hooks see the pre-execution register state, which is what the DIFT
+// engine mirrors to compute effective addresses.
+type InstrHook func(m *Machine, pc uint32, in isa.Instruction)
+
+// MemHook observes a data memory access. pa is the translated physical
+// address of the first byte; size is 1 or 4.
+type MemHook func(m *Machine, pc uint32, in isa.Instruction, va uint32, pa mem.PhysAddr, size int)
+
+// Machine is the whole system: physical memory, one CPU, and the plugin bus.
+type Machine struct {
+	// CPU is the live architectural state.
+	CPU CPU
+	// InstrCount counts retired instructions and doubles as the machine's
+	// clock; the record/replay log is stamped with it.
+	InstrCount uint64
+
+	phys  *mem.Phys
+	space *mem.Space
+
+	// icache caches decoded instructions per physical frame. Guest stores
+	// and kernel copies invalidate the written frames, so self-modifying
+	// payloads and JIT code caches decode fresh.
+	icache map[uint32]*icachePage
+
+	// fetchTLB is a one-entry software TLB for sequential instruction
+	// fetch: it remembers the current code page's icache entry and is
+	// dropped on context switch, mapping change (space generation), or
+	// icache invalidation.
+	fetchTLB struct {
+		space *mem.Space
+		gen   uint64
+		vpn   uint32
+		frame uint32
+		page  *icachePage
+		ok    bool
+	}
+
+	// dtlb caches the last read and write data translations (indices 0/1).
+	dtlb [2]struct {
+		space *mem.Space
+		gen   uint64
+		vpn   uint32
+		frame uint32
+		ok    bool
+	}
+
+	beforeInstr []InstrHook
+	afterInstr  []InstrHook
+	memRead     []MemHook
+	memWrite    []MemHook
+}
+
+// dataPA translates a data access through the data TLB. slot 0 caches
+// reads, slot 1 writes.
+func (m *Machine) dataPA(va uint32, kind mem.AccessKind) (mem.PhysAddr, error) {
+	slot := 0
+	if kind == mem.AccessWrite {
+		slot = 1
+	}
+	t := &m.dtlb[slot]
+	if t.ok && t.space == m.space && t.vpn == va>>mem.PageShift && t.gen == m.space.Gen() {
+		return mem.PhysAddr(t.frame)<<mem.PageShift | mem.PhysAddr(va%mem.PageSize), nil
+	}
+	pa, err := m.space.Translate(va, kind)
+	if err != nil {
+		return 0, err
+	}
+	t.space = m.space
+	t.gen = m.space.Gen()
+	t.vpn = va >> mem.PageShift
+	t.frame = pa.Frame()
+	t.ok = true
+	return pa, nil
+}
+
+// icacheSlots is the number of 8-byte instruction slots per frame.
+const icacheSlots = mem.PageSize / isa.InstrSize
+
+// icachePage holds decoded instructions for one physical frame. state 0 is
+// unknown, 1 decoded, 2 undecodable.
+type icachePage struct {
+	instrs [icacheSlots]isa.Instruction
+	state  [icacheSlots]uint8
+}
+
+// New creates a machine over the given physical memory.
+func New(phys *mem.Phys) *Machine {
+	return &Machine{phys: phys, icache: make(map[uint32]*icachePage)}
+}
+
+// InvalidateFrame drops cached decodes for a physical frame. The kernel
+// calls it after privileged copies (loader section writes, cross-process
+// injection) that bypass the CPU's store path.
+func (m *Machine) InvalidateFrame(frame uint32) {
+	delete(m.icache, frame)
+	if m.fetchTLB.ok && m.fetchTLB.frame == frame {
+		m.fetchTLB.ok = false
+	}
+}
+
+// Phys returns the machine's physical memory.
+func (m *Machine) Phys() *mem.Phys { return m.phys }
+
+// SetSpace switches the active address space (the CR3 load of a context
+// switch). The kernel saves/restores CPU state around it.
+func (m *Machine) SetSpace(s *mem.Space) {
+	if m.space != s {
+		m.fetchTLB.ok = false
+	}
+	m.space = s
+}
+
+// Space returns the active address space (nil before the first SetSpace).
+func (m *Machine) Space() *mem.Space { return m.space }
+
+// CR3 returns the active address space identity, or 0 if none.
+func (m *Machine) CR3() uint32 {
+	if m.space == nil {
+		return 0
+	}
+	return m.space.CR3()
+}
+
+// OnBeforeInstr registers a hook that fires before each instruction executes.
+func (m *Machine) OnBeforeInstr(h InstrHook) { m.beforeInstr = append(m.beforeInstr, h) }
+
+// OnAfterInstr registers a hook that fires after each retired instruction.
+func (m *Machine) OnAfterInstr(h InstrHook) { m.afterInstr = append(m.afterInstr, h) }
+
+// OnMemRead registers a hook observing data loads.
+func (m *Machine) OnMemRead(h MemHook) { m.memRead = append(m.memRead, h) }
+
+// OnMemWrite registers a hook observing data stores.
+func (m *Machine) OnMemWrite(h MemHook) { m.memWrite = append(m.memWrite, h) }
+
+// HookCount returns the number of registered hooks; the scenario harness
+// reports it so performance runs can document their instrumentation level.
+func (m *Machine) HookCount() int {
+	return len(m.beforeInstr) + len(m.afterInstr) + len(m.memRead) + len(m.memWrite)
+}
+
+// FetchInstr reads and decodes the instruction at va with execute
+// permission, going through the decoded-instruction cache when the fetch
+// does not straddle a page boundary.
+func (m *Machine) FetchInstr(va uint32) (isa.Instruction, error) {
+	// Fast path: same code page as the previous fetch, mappings unchanged.
+	if t := &m.fetchTLB; t.ok && t.space == m.space && t.vpn == va>>mem.PageShift &&
+		t.gen == m.space.Gen() && va%isa.InstrSize == 0 {
+		slot := (va % mem.PageSize) / isa.InstrSize
+		if t.page.state[slot] == 1 {
+			return t.page.instrs[slot], nil
+		}
+	}
+	pa, err := m.space.Translate(va, mem.AccessExec)
+	if err != nil {
+		return isa.Instruction{}, err
+	}
+	off := pa.Offset()
+	if off%isa.InstrSize != 0 || off > mem.PageSize-isa.InstrSize {
+		// Unaligned or page-straddling fetch: slow path, uncached.
+		buf, err := m.space.ReadBytes(va, isa.InstrSize, mem.AccessExec)
+		if err != nil {
+			return isa.Instruction{}, err
+		}
+		return isa.Decode(buf)
+	}
+	frame := pa.Frame()
+	page, ok := m.icache[frame]
+	if !ok {
+		page = &icachePage{}
+		m.icache[frame] = page
+	}
+	m.fetchTLB.space = m.space
+	m.fetchTLB.gen = m.space.Gen()
+	m.fetchTLB.vpn = va >> mem.PageShift
+	m.fetchTLB.frame = frame
+	m.fetchTLB.page = page
+	m.fetchTLB.ok = true
+	slot := off / isa.InstrSize
+	switch page.state[slot] {
+	case 1:
+		return page.instrs[slot], nil
+	case 2:
+		return isa.Instruction{}, fmt.Errorf("vm: invalid instruction at 0x%08X", va)
+	}
+	f, err := m.phys.Frame(frame)
+	if err != nil {
+		return isa.Instruction{}, err
+	}
+	in, err := isa.Decode(f[off : off+isa.InstrSize])
+	if err != nil {
+		page.state[slot] = 2
+		return isa.Instruction{}, err
+	}
+	page.instrs[slot] = in
+	page.state[slot] = 1
+	return in, nil
+}
+
+// read32 loads a word, firing mem-read hooks.
+func (m *Machine) read32(pc uint32, in isa.Instruction, va uint32) (uint32, error) {
+	pa, err := m.dataPA(va, mem.AccessRead)
+	if err != nil {
+		return 0, err
+	}
+	var v uint32
+	if off := pa.Offset(); off <= mem.PageSize-4 {
+		f, ferr := m.phys.Frame(pa.Frame())
+		if ferr != nil {
+			return 0, ferr
+		}
+		v = binary.LittleEndian.Uint32(f[off : off+4])
+	} else {
+		v, err = m.space.Read32(va, mem.AccessRead)
+		if err != nil {
+			return 0, err
+		}
+	}
+	for _, h := range m.memRead {
+		h(m, pc, in, va, pa, 4)
+	}
+	return v, nil
+}
+
+// read8 loads a byte, firing mem-read hooks.
+func (m *Machine) read8(pc uint32, in isa.Instruction, va uint32) (uint32, error) {
+	pa, err := m.dataPA(va, mem.AccessRead)
+	if err != nil {
+		return 0, err
+	}
+	b, err := m.phys.ReadByteAt(pa)
+	if err != nil {
+		return 0, err
+	}
+	for _, h := range m.memRead {
+		h(m, pc, in, va, pa, 1)
+	}
+	return uint32(b), nil
+}
+
+// write32 stores a word, firing mem-write hooks and invalidating cached
+// decodes for the written frames.
+func (m *Machine) write32(pc uint32, in isa.Instruction, va uint32, v uint32) error {
+	pa, err := m.dataPA(va, mem.AccessWrite)
+	if err != nil {
+		return err
+	}
+	if off := pa.Offset(); off <= mem.PageSize-4 {
+		f, ferr := m.phys.Frame(pa.Frame())
+		if ferr != nil {
+			return ferr
+		}
+		binary.LittleEndian.PutUint32(f[off:off+4], v)
+		m.InvalidateFrame(pa.Frame())
+	} else {
+		if err := m.space.Write32(va, v); err != nil {
+			return err
+		}
+		m.InvalidateFrame(pa.Frame())
+		if pa2, err2 := m.space.Translate(va+3, mem.AccessWrite); err2 == nil {
+			m.InvalidateFrame(pa2.Frame())
+		}
+	}
+	for _, h := range m.memWrite {
+		h(m, pc, in, va, pa, 4)
+	}
+	return nil
+}
+
+// write8 stores a byte, firing mem-write hooks.
+func (m *Machine) write8(pc uint32, in isa.Instruction, va uint32, v byte) error {
+	pa, err := m.dataPA(va, mem.AccessWrite)
+	if err != nil {
+		return err
+	}
+	if err := m.phys.WriteByteAt(pa, v); err != nil {
+		return err
+	}
+	m.InvalidateFrame(pa.Frame())
+	for _, h := range m.memWrite {
+		h(m, pc, in, va, pa, 1)
+	}
+	return nil
+}
+
+// EffectiveAddr computes the data address an instruction touches given the
+// current register file. It returns ok=false for instructions without a
+// memory operand. The DIFT engine uses it on the pre-execution state.
+func EffectiveAddr(cpu *CPU, in isa.Instruction) (addr uint32, ok bool) {
+	switch in.Op {
+	case isa.OpLd, isa.OpLdb:
+		if in.Mode == isa.ModeRM {
+			return cpu.Regs[in.Src] + in.Imm, true
+		}
+		return cpu.Regs[in.Src] + cpu.Regs[in.IndexReg()], true
+	case isa.OpSt, isa.OpStb:
+		if in.Mode == isa.ModeMR {
+			return cpu.Regs[in.Dst] + in.Imm, true
+		}
+		return cpu.Regs[in.Dst] + cpu.Regs[in.IndexReg()], true
+	case isa.OpPush, isa.OpCall:
+		return cpu.Regs[isa.ESP] - 4, true
+	case isa.OpPop, isa.OpRet:
+		return cpu.Regs[isa.ESP], true
+	}
+	return 0, false
+}
+
+// Step executes one instruction. On TrapFault the returned error describes
+// the fault and EIP is unchanged; for all other traps EIP has advanced.
+func (m *Machine) Step() (Trap, error) {
+	if m.space == nil {
+		return TrapFault, fmt.Errorf("vm: no address space loaded")
+	}
+	pc := m.CPU.EIP
+	in, err := m.FetchInstr(pc)
+	if err != nil {
+		return TrapFault, fmt.Errorf("vm: fetch at 0x%08X: %w", pc, err)
+	}
+	for _, h := range m.beforeInstr {
+		h(m, pc, in)
+	}
+
+	next := pc + isa.InstrSize
+	trap := TrapNone
+	regs := &m.CPU.Regs
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHlt:
+		trap = TrapHalt
+	case isa.OpSyscall:
+		trap = TrapSyscall
+	case isa.OpMov:
+		if in.Mode == isa.ModeRR {
+			regs[in.Dst] = regs[in.Src]
+		} else {
+			regs[in.Dst] = in.Imm
+		}
+	case isa.OpLd, isa.OpLdb:
+		addr, _ := EffectiveAddr(&m.CPU, in)
+		var v uint32
+		if in.Op == isa.OpLd {
+			v, err = m.read32(pc, in, addr)
+		} else {
+			v, err = m.read8(pc, in, addr)
+		}
+		if err != nil {
+			return TrapFault, err
+		}
+		regs[in.Dst] = v
+	case isa.OpSt, isa.OpStb:
+		addr, _ := EffectiveAddr(&m.CPU, in)
+		if in.Op == isa.OpSt {
+			err = m.write32(pc, in, addr, regs[in.Src])
+		} else {
+			err = m.write8(pc, in, addr, byte(regs[in.Src]))
+		}
+		if err != nil {
+			return TrapFault, err
+		}
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpMul, isa.OpShl, isa.OpShr:
+		src := in.Imm
+		if in.Mode == isa.ModeRR {
+			src = regs[in.Src]
+		}
+		regs[in.Dst] = alu(in.Op, regs[in.Dst], src)
+	case isa.OpNot:
+		regs[in.Dst] = ^regs[in.Dst]
+	case isa.OpCmp:
+		b := in.Imm
+		if in.Mode == isa.ModeRR {
+			b = regs[in.Src]
+		}
+		a := regs[in.Dst]
+		m.CPU.Flags.Z = a == b
+		m.CPU.Flags.S = int32(a) < int32(b)
+	case isa.OpJmp:
+		next = m.jumpTarget(pc, in)
+	case isa.OpJz, isa.OpJnz, isa.OpJl, isa.OpJg, isa.OpJle, isa.OpJge:
+		if m.condTaken(in.Op) {
+			next = m.jumpTarget(pc, in)
+		}
+	case isa.OpCall:
+		regs[isa.ESP] -= 4
+		if err := m.write32(pc, in, regs[isa.ESP], pc+isa.InstrSize); err != nil {
+			regs[isa.ESP] += 4
+			return TrapFault, err
+		}
+		next = m.jumpTarget(pc, in)
+	case isa.OpRet:
+		v, err := m.read32(pc, in, regs[isa.ESP])
+		if err != nil {
+			return TrapFault, err
+		}
+		regs[isa.ESP] += 4
+		next = v
+	case isa.OpPush:
+		v := in.Imm
+		if in.Mode == isa.ModeRR {
+			v = regs[in.Dst]
+		}
+		regs[isa.ESP] -= 4
+		if err := m.write32(pc, in, regs[isa.ESP], v); err != nil {
+			regs[isa.ESP] += 4
+			return TrapFault, err
+		}
+	case isa.OpPop:
+		v, err := m.read32(pc, in, regs[isa.ESP])
+		if err != nil {
+			return TrapFault, err
+		}
+		regs[isa.ESP] += 4
+		regs[in.Dst] = v
+	default:
+		return TrapFault, fmt.Errorf("vm: unimplemented opcode %s at 0x%08X", in.Op, pc)
+	}
+
+	m.CPU.EIP = next
+	m.InstrCount++
+	for _, h := range m.afterInstr {
+		h(m, pc, in)
+	}
+	return trap, nil
+}
+
+// alu evaluates a two-operand ALU operation.
+func alu(op isa.Op, a, b uint32) uint32 {
+	switch op {
+	case isa.OpAdd:
+		return a + b
+	case isa.OpSub:
+		return a - b
+	case isa.OpAnd:
+		return a & b
+	case isa.OpOr:
+		return a | b
+	case isa.OpXor:
+		return a ^ b
+	case isa.OpMul:
+		return a * b
+	case isa.OpShl:
+		return a << (b & 31)
+	case isa.OpShr:
+		return a >> (b & 31)
+	}
+	return 0
+}
+
+// jumpTarget resolves the destination of a jump/call.
+func (m *Machine) jumpTarget(pc uint32, in isa.Instruction) uint32 {
+	switch in.Mode {
+	case isa.ModeRI:
+		return in.Imm
+	case isa.ModeRel:
+		return pc + isa.InstrSize + uint32(in.RelOffset())
+	case isa.ModeRR:
+		return m.CPU.Regs[in.Dst]
+	}
+	return pc + isa.InstrSize
+}
+
+// condTaken evaluates a conditional branch against the flags.
+func (m *Machine) condTaken(op isa.Op) bool {
+	f := m.CPU.Flags
+	switch op {
+	case isa.OpJz:
+		return f.Z
+	case isa.OpJnz:
+		return !f.Z
+	case isa.OpJl:
+		return f.S
+	case isa.OpJge:
+		return !f.S
+	case isa.OpJg:
+		return !f.S && !f.Z
+	case isa.OpJle:
+		return f.S || f.Z
+	}
+	return false
+}
+
+// Run executes up to maxSteps instructions or until a non-none trap.
+// It returns the trap and the number of instructions retired.
+func (m *Machine) Run(maxSteps uint64) (Trap, uint64, error) {
+	var n uint64
+	for n < maxSteps {
+		trap, err := m.Step()
+		if err != nil {
+			return trap, n, err
+		}
+		n++
+		if trap != TrapNone {
+			return trap, n, nil
+		}
+	}
+	return TrapNone, n, nil
+}
