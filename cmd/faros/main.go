@@ -24,7 +24,20 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(runRecovered())
+}
+
+// runRecovered is the last-resort boundary: library code returns errors on
+// bad input, so anything that still panics is a bug — report it cleanly
+// instead of dumping a goroutine trace on the analyst.
+func runRecovered() (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "faros: internal error: %v\n", r)
+			code = 2
+		}
+	}()
+	return run()
 }
 
 func run() int {

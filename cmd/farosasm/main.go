@@ -17,7 +17,20 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(runRecovered())
+}
+
+// runRecovered is the last-resort boundary: Parse/Assemble return errors on
+// malformed input, so a panic here is a toolchain bug — report it cleanly
+// instead of dumping a goroutine trace on the payload author.
+func runRecovered() (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "farosasm: internal error: %v\n", r)
+			code = 2
+		}
+	}()
+	return run()
 }
 
 func run() int {

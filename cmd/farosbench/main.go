@@ -17,7 +17,19 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(runRecovered())
+}
+
+// runRecovered keeps a buggy experiment from taking down the whole sweep
+// with a goroutine dump; the failure is reported like any other error.
+func runRecovered() (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "farosbench: internal error: %v\n", r)
+			code = 2
+		}
+	}()
+	return run()
 }
 
 func run() int {

@@ -398,7 +398,7 @@ func Evasion() (string, error) {
 var order = []string{
 	"detect", "table2", "fig7", "fig8", "fig9", "fig10",
 	"table3", "table4", "table5", "cuckoo", "indirect",
-	"ablate-addr", "ablate-proctag", "ablate-cap", "evasion",
+	"ablate-addr", "ablate-proctag", "ablate-cap", "evasion", "chaos",
 }
 
 // Names returns the experiment identifiers.
@@ -437,6 +437,8 @@ func Run(name string) (string, error) {
 		return AblateListCap()
 	case "evasion":
 		return Evasion()
+	case "chaos":
+		return Chaos()
 	}
 	return "", fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(order, ", "))
 }

@@ -9,7 +9,7 @@ func TestNamesCoverEveryTableAndFigure(t *testing.T) {
 	names := Names()
 	want := []string{"detect", "table2", "fig7", "fig8", "fig9", "fig10",
 		"table3", "table4", "table5", "cuckoo", "indirect",
-		"ablate-addr", "ablate-proctag", "ablate-cap", "evasion"}
+		"ablate-addr", "ablate-proctag", "ablate-cap", "evasion", "chaos"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}

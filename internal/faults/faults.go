@@ -1,0 +1,303 @@
+// Package faults implements seeded, deterministic fault injection for the
+// whole-system pipeline: network faults (packet loss, duplication,
+// reordering, byte corruption, short reads), transient syscall failures,
+// and guest-level faults (flipped code bytes, unmapped-page probes).
+//
+// Determinism is the design constraint everything else bends around: the
+// record/replay workflow re-executes the guest bit-for-bit, so every fault
+// decision must be reproducible from the plan's seed alone. Each fault
+// class draws from its own independent splitmix64 stream — network draws
+// happen only during live runs (endpoints are disabled in replay), while
+// syscall and guest draws happen identically in both passes because the
+// guest instruction stream is identical. Mixing the classes into one
+// stream would let a live-only draw shift every later decision and desync
+// the replay.
+package faults
+
+import "fmt"
+
+// stream is a splitmix64 PRNG. It is tiny, fast, and — unlike math/rand —
+// trivially forkable into independent sequences from one seed.
+type stream struct{ state uint64 }
+
+func (s *stream) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform draw in [0, 1).
+func (s *stream) float() float64 { return float64(s.next()>>11) / (1 << 53) }
+
+// NetPlan configures wire-level faults. Probabilities are per logical
+// packet (or per read for ShortRead).
+type NetPlan struct {
+	// Drop is the chance a transmission is lost; the sender retransmits
+	// after an RTO, so payloads are delayed, never destroyed.
+	Drop float64
+	// Corrupt is the chance a transmission arrives with flipped bytes; the
+	// checksum catches it at delivery and a clean retransmission follows.
+	Corrupt float64
+	// Duplicate is the chance the clean copy arrives twice.
+	Duplicate float64
+	// Reorder is the chance the clean copy picks up extra jitter, letting a
+	// later packet overtake it (per-flow sequencing reassembles).
+	Reorder float64
+	// ShortRead is the chance a recv completes with fewer bytes than asked,
+	// forcing callers to loop.
+	ShortRead float64
+}
+
+// SyscallPlan configures transient syscall failures for the retryable I/O
+// calls (NtReadFile, NtWriteFile, NtRecv).
+type SyscallPlan struct {
+	// FailRate is the per-call chance of a StatusRetry return.
+	FailRate float64
+	// MaxConsecutive caps back-to-back failures so bounded guest retry
+	// loops always eventually succeed (default 2).
+	MaxConsecutive int
+}
+
+// GuestPlan configures guest-level faults, applied per scheduler quantum
+// to processes named in Targets.
+type GuestPlan struct {
+	// FlipRate is the per-quantum chance the next opcode byte is flipped to
+	// an undecodable value (corrupted code).
+	FlipRate float64
+	// ProbeRate is the per-quantum chance EIP is pointed at an unmapped
+	// page (wild jump).
+	ProbeRate float64
+	// Targets names the processes eligible for guest faults; nil means no
+	// process is ever faulted.
+	Targets []string
+}
+
+// Plan is a complete, seeded fault-injection configuration. The zero value
+// injects nothing.
+type Plan struct {
+	Seed    uint64
+	Net     NetPlan
+	Syscall SyscallPlan
+	Guest   GuestPlan
+}
+
+// NewInjector builds a fresh injector from the plan; every injector built
+// from the same plan makes the same decisions in the same order. A nil
+// plan yields a nil injector, which all Injector methods accept.
+func (p *Plan) NewInjector() *Injector {
+	if p == nil {
+		return nil
+	}
+	return &Injector{
+		plan:  *p,
+		net:   stream{state: p.Seed ^ 0xAE57_0000_0000_0001},
+		sys:   stream{state: p.Seed ^ 0xAE57_0000_0000_0002},
+		guest: stream{state: p.Seed ^ 0xAE57_0000_0000_0003},
+		short: stream{state: p.Seed ^ 0xAE57_0000_0000_0004},
+	}
+}
+
+// Stats counts injected faults, for reports and determinism checks.
+type Stats struct {
+	PacketsDropped    int
+	PacketsCorrupted  int
+	PacketsDuplicated int
+	PacketsReordered  int
+	SyscallFaults     int
+	ShortReads        int
+	CodeFlips         int
+	UnmappedProbes    int
+}
+
+// Total returns the number of faults injected across all classes.
+func (s Stats) Total() int {
+	return s.PacketsDropped + s.PacketsCorrupted + s.PacketsDuplicated +
+		s.PacketsReordered + s.SyscallFaults + s.ShortReads +
+		s.CodeFlips + s.UnmappedProbes
+}
+
+// String renders a compact counter line.
+func (s Stats) String() string {
+	return fmt.Sprintf("drop=%d corrupt=%d dup=%d reorder=%d syscall=%d short=%d flip=%d probe=%d",
+		s.PacketsDropped, s.PacketsCorrupted, s.PacketsDuplicated, s.PacketsReordered,
+		s.SyscallFaults, s.ShortReads, s.CodeFlips, s.UnmappedProbes)
+}
+
+// WireCopy is one transmission of a logical packet as it appears on the
+// wire: possibly corrupted, possibly delayed behind retransmissions.
+type WireCopy struct {
+	// Delay is added to the endpoint's own delivery delay.
+	Delay uint64
+	// Data is the payload bytes on the wire.
+	Data []byte
+	// Corrupt marks a copy whose bytes were flipped (its checksum will not
+	// verify at delivery).
+	Corrupt bool
+}
+
+// GuestFaultKind selects a guest-level fault.
+type GuestFaultKind int
+
+// Guest fault kinds.
+const (
+	GuestNone GuestFaultKind = iota
+	// GuestFlip corrupts the opcode byte under EIP.
+	GuestFlip
+	// GuestProbe points EIP at an unmapped page.
+	GuestProbe
+)
+
+// Retransmission timing, in guest instructions. The RTO is kept well under
+// the scripted endpoints' inter-reply spacing so a retransmitted payload
+// still lands before the flow closes.
+const (
+	rto          = 120
+	reorderBase  = 40
+	reorderSpan  = 120
+	dupExtra     = 30
+	maxBadCopies = 3
+)
+
+// Injector makes fault decisions for one run. All methods accept a nil
+// receiver (no faults), so consumers need no guards.
+type Injector struct {
+	plan        Plan
+	net         stream
+	sys         stream
+	guest       stream
+	short       stream
+	consecutive int
+	stats       Stats
+}
+
+// Stats returns the fault counters so far.
+func (inj *Injector) Stats() Stats {
+	if inj == nil {
+		return Stats{}
+	}
+	return inj.stats
+}
+
+// WireCopies expands one logical packet into the transmissions that hit
+// the wire: zero or more dropped/corrupted attempts, then exactly one
+// clean copy (possibly jittered or duplicated). The clean-copy guarantee
+// is what makes chaos runs converge — payloads are delayed and mangled in
+// transit but never destroyed end-to-end, exactly like TCP over a lossy
+// link.
+func (inj *Injector) WireCopies(data []byte) []WireCopy {
+	if inj == nil {
+		return []WireCopy{{Data: data}}
+	}
+	var out []WireCopy
+	var delay uint64
+	for i := 0; i < maxBadCopies; i++ {
+		r := inj.net.float()
+		if r < inj.plan.Net.Drop {
+			inj.stats.PacketsDropped++
+			delay += rto
+			continue
+		}
+		if r < inj.plan.Net.Drop+inj.plan.Net.Corrupt {
+			inj.stats.PacketsCorrupted++
+			out = append(out, WireCopy{Delay: delay, Data: inj.corrupt(data), Corrupt: true})
+			delay += rto
+			continue
+		}
+		break
+	}
+	clean := WireCopy{Delay: delay, Data: data}
+	if inj.net.float() < inj.plan.Net.Reorder {
+		inj.stats.PacketsReordered++
+		clean.Delay += reorderBase + inj.net.next()%reorderSpan
+	}
+	out = append(out, clean)
+	if inj.net.float() < inj.plan.Net.Duplicate {
+		inj.stats.PacketsDuplicated++
+		out = append(out, WireCopy{Delay: clean.Delay + dupExtra, Data: data})
+	}
+	return out
+}
+
+// corrupt returns a copy of data with 1–3 bytes xor-flipped (never by
+// zero, so the copy always differs from the original).
+func (inj *Injector) corrupt(data []byte) []byte {
+	bad := append([]byte(nil), data...)
+	if len(bad) == 0 {
+		return bad
+	}
+	flips := 1 + int(inj.net.next()%3)
+	for i := 0; i < flips; i++ {
+		pos := int(inj.net.next() % uint64(len(bad)))
+		bad[pos] ^= byte(1 + inj.net.next()%255)
+	}
+	return bad
+}
+
+// FaultSyscall decides whether the current retryable syscall fails
+// transiently. Consecutive failures are capped so guest retry loops with
+// bounded attempts always make progress.
+func (inj *Injector) FaultSyscall() bool {
+	if inj == nil || inj.plan.Syscall.FailRate <= 0 {
+		return false
+	}
+	max := inj.plan.Syscall.MaxConsecutive
+	if max <= 0 {
+		max = 2
+	}
+	fail := inj.sys.float() < inj.plan.Syscall.FailRate && inj.consecutive < max
+	if fail {
+		inj.consecutive++
+		inj.stats.SyscallFaults++
+	} else {
+		inj.consecutive = 0
+	}
+	return fail
+}
+
+// CapRead possibly shortens a recv transfer, modeling partial reads. The
+// cap is at least 1 byte so capped reads still make progress.
+func (inj *Injector) CapRead(max int) int {
+	if inj == nil || inj.plan.Net.ShortRead <= 0 || max <= 1 {
+		return max
+	}
+	if inj.short.float() < inj.plan.Net.ShortRead {
+		n := 1 + int(inj.short.next()%uint64(max))
+		if n < max {
+			inj.stats.ShortReads++
+			return n
+		}
+	}
+	return max
+}
+
+// GuestFault draws a guest-level fault decision for one scheduler quantum
+// of the named process. Processes outside the plan's target list are never
+// faulted (and consume no draws, so adding bystanders does not shift the
+// stream).
+func (inj *Injector) GuestFault(procName string) GuestFaultKind {
+	if inj == nil {
+		return GuestNone
+	}
+	target := false
+	for _, t := range inj.plan.Guest.Targets {
+		if t == procName {
+			target = true
+			break
+		}
+	}
+	if !target {
+		return GuestNone
+	}
+	r := inj.guest.float()
+	switch {
+	case r < inj.plan.Guest.FlipRate:
+		inj.stats.CodeFlips++
+		return GuestFlip
+	case r < inj.plan.Guest.FlipRate+inj.plan.Guest.ProbeRate:
+		inj.stats.UnmappedProbes++
+		return GuestProbe
+	}
+	return GuestNone
+}

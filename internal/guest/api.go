@@ -85,6 +85,13 @@ const (
 // ErrRet is the syscall error return value.
 const ErrRet uint32 = 0xFFFFFFFF
 
+// StatusRetry is the transient-failure return from retryable I/O syscalls
+// (ReadFile, WriteFile, Recv): the operation did not happen but may succeed
+// if retried. The fault injector uses it to model flaky device I/O; robust
+// guests loop with bounded backoff. As a signed value it is -2, so the
+// "Cmpi EAX, 1; Jl" closed/error check also catches it.
+const StatusRetry uint32 = 0xFFFFFFFE
+
 // Process creation flags (SysCreateProcess ECX argument).
 const (
 	// CreateSuspended starts the child suspended, as process hollowing does.

@@ -1,0 +1,152 @@
+package guest
+
+import (
+	"strings"
+	"testing"
+
+	"faros/internal/faults"
+	"faros/internal/isa"
+	"faros/internal/peimg"
+)
+
+// crasherProgram prints a pre-fault marker, then stores to an unmapped
+// address (a structured guest exception, not a run failure).
+func crasherProgram(name string) *peimg.Builder {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("msg").DataString("crasher alive")
+	b.Text.Movi(isa.EBX, b.MustDataVA("msg"))
+	b.CallImport("DebugPrint")
+	b.Text.Movi(isa.EAX, 0x00000FF8) // below every mapping
+	b.Text.St(isa.EAX, 0, isa.EBX)
+	b.Text.Movi(isa.EBX, 0)
+	b.CallImport("ExitProcess")
+	return b
+}
+
+// wildJumpProgram jumps straight into unmapped memory.
+func wildJumpProgram(name string) *peimg.Builder {
+	b := peimg.NewBuilder(name)
+	b.Text.Movi(isa.EAX, 0x7FFF0000)
+	b.Text.JmpReg(isa.EAX)
+	return b
+}
+
+// TestMultiProcessFaultIsolation runs a faulting process alongside a benign
+// one: the survivor must complete normally and the fault must surface as a
+// structured exception in the run summary, not abort the run.
+func TestMultiProcessFaultIsolation(t *testing.T) {
+	k := newTestKernel(t)
+	buildAndInstall(t, k, crasherProgram("crasher.exe"), "crasher.exe")
+	buildAndInstall(t, k, helloProgram("survivor.exe", "survivor done"), "survivor.exe")
+	crasher, err := k.Spawn("crasher.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor, err := k.Spawn("survivor.exe", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := k.Run(1_000_000)
+	if err != nil {
+		t.Fatalf("run aborted: %v", err)
+	}
+	if sum.Reason != "all processes terminated" {
+		t.Errorf("reason = %q", sum.Reason)
+	}
+
+	if survivor.State != StateDead || survivor.ExitCode != 0 || survivor.KillReason != "" {
+		t.Errorf("survivor did not exit cleanly: state=%v exit=%d kill=%q",
+			survivor.State, survivor.ExitCode, survivor.KillReason)
+	}
+	if !hasConsoleLine(k, "survivor done") {
+		t.Errorf("survivor output missing: %v", k.Console)
+	}
+	if !hasConsoleLine(k, "crasher alive") {
+		t.Errorf("crasher pre-fault output missing: %v", k.Console)
+	}
+
+	if crasher.State != StateDead || crasher.KillReason == "" || crasher.ExitCode != ErrRet {
+		t.Errorf("crasher not fault-terminated: state=%v exit=%d kill=%q",
+			crasher.State, crasher.ExitCode, crasher.KillReason)
+	}
+	if len(sum.Faults) != 1 {
+		t.Fatalf("faults = %+v", sum.Faults)
+	}
+	exc := sum.Faults[0]
+	if exc.PID != crasher.PID || exc.Name != "crasher.exe" || exc.Reason == "" {
+		t.Errorf("exception = %+v", exc)
+	}
+	if !hasConsoleLine(k, "fault at") {
+		t.Errorf("no crash-report console line: %v", k.Console)
+	}
+}
+
+// TestWildJumpIsolatedToo covers the execute-side fault (bad EIP rather
+// than a bad store).
+func TestWildJumpIsolatedToo(t *testing.T) {
+	k := newTestKernel(t)
+	buildAndInstall(t, k, wildJumpProgram("wild.exe"), "wild.exe")
+	buildAndInstall(t, k, helloProgram("ok.exe", "ok done"), "ok.exe")
+	if _, err := k.Spawn("wild.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Spawn("ok.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := k.Run(1_000_000)
+	if err != nil {
+		t.Fatalf("run aborted: %v", err)
+	}
+	if len(sum.Faults) != 1 || sum.Faults[0].Name != "wild.exe" {
+		t.Fatalf("faults = %+v", sum.Faults)
+	}
+	if sum.Faults[0].PC != 0x7FFF0000 {
+		t.Errorf("fault PC = %#x, want the wild target", sum.Faults[0].PC)
+	}
+	if !hasConsoleLine(k, "ok done") {
+		t.Errorf("bystander output missing: %v", k.Console)
+	}
+}
+
+// TestInjectedGuestFaultsTargeted attaches a fault plan that flips code in
+// one process only; the bystander must be untouched.
+func TestInjectedGuestFaultsTargeted(t *testing.T) {
+	k := newTestKernel(t)
+	buildAndInstall(t, k, helloProgram("victim.exe", "victim done"), "victim.exe")
+	buildAndInstall(t, k, helloProgram("clean.exe", "clean done"), "clean.exe")
+	if _, err := k.Spawn("victim.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Spawn("clean.exe", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.Plan{Seed: 1, Guest: faults.GuestPlan{FlipRate: 1.0, Targets: []string{"victim.exe"}}}
+	k.SetFaultInjector(plan.NewInjector())
+
+	sum, err := k.Run(1_000_000)
+	if err != nil {
+		t.Fatalf("run aborted: %v", err)
+	}
+	if len(sum.Faults) != 1 || sum.Faults[0].Name != "victim.exe" {
+		t.Fatalf("faults = %+v", sum.Faults)
+	}
+	if !hasConsoleLine(k, "clean done") {
+		t.Errorf("bystander output missing: %v", k.Console)
+	}
+	if hasConsoleLine(k, "victim done") {
+		t.Errorf("victim completed despite FlipRate 1.0: %v", k.Console)
+	}
+	if k.FaultStats().CodeFlips == 0 {
+		t.Error("injector recorded no code flips")
+	}
+}
+
+func hasConsoleLine(k *Kernel, substr string) bool {
+	for _, line := range k.Console {
+		if strings.Contains(line, substr) {
+			return true
+		}
+	}
+	return false
+}

@@ -66,6 +66,65 @@ type Socket struct {
 
 	// TxBytes counts sent payload for the Cuckoo report.
 	TxBytes int
+
+	// rxNext is the next expected wire sequence number; pending buffers
+	// out-of-order arrivals until the gap fills (a minimal TCP reassembly
+	// queue, needed once the fault injector can delay and duplicate
+	// packets).
+	rxNext  uint32
+	pending map[uint32][]byte
+}
+
+// AcceptSeq runs the reassembly logic for a wire arrival carrying seq and
+// returns the payloads now deliverable, in order: nil for a duplicate or a
+// buffered out-of-order packet, or the arrival plus any pending successors
+// it unblocked. A zero seq bypasses sequencing (scripted device scripts
+// and legacy logs predate wire sequencing).
+func (sock *Socket) AcceptSeq(seq uint32, data []byte) [][]byte {
+	if seq == 0 {
+		return [][]byte{data}
+	}
+	switch {
+	case seq < sock.rxNext:
+		return nil // duplicate: already delivered
+	case seq > sock.rxNext:
+		if sock.pending == nil {
+			sock.pending = make(map[uint32][]byte)
+		}
+		if _, buffered := sock.pending[seq]; !buffered {
+			sock.pending[seq] = append([]byte(nil), data...)
+		}
+		return nil
+	}
+	out := [][]byte{data}
+	sock.rxNext++
+	for {
+		next, ok := sock.pending[sock.rxNext]
+		if !ok {
+			break
+		}
+		delete(sock.pending, sock.rxNext)
+		out = append(out, next)
+		sock.rxNext++
+	}
+	return out
+}
+
+// PendingSegments returns the number of out-of-order segments buffered.
+func (sock *Socket) PendingSegments() int { return len(sock.pending) }
+
+// Checksum hashes packet payloads (FNV-1a) so corrupted wire copies can be
+// detected and discarded at delivery.
+func Checksum(data []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range data {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	if h == 0 { // zero means "unchecked" in record.Event
+		return 1
+	}
+	return h
 }
 
 // Scheduler lets the stack schedule future packet events during live runs.
@@ -92,6 +151,7 @@ type Stack struct {
 	nextSock uint32
 	nextFlow uint32
 	nextPort uint16
+	nextSeq  map[uint32]uint32 // per-flow wire sequence counters
 
 	// FlowLog lists flows in creation order for reports.
 	FlowLog []Flow
@@ -104,6 +164,7 @@ func NewStack(localIP string) *Stack {
 		sockets:   make(map[uint32]*Socket),
 		flows:     make(map[uint32]*Flow),
 		endpoints: make(map[Addr]Endpoint),
+		nextSeq:   make(map[uint32]uint32),
 		nextSock:  1,
 		nextFlow:  1,
 		nextPort:  49152, // Windows ephemeral range
@@ -131,9 +192,15 @@ func (st *Stack) Endpoints() []Addr {
 	return out
 }
 
+// NextSeq allocates the next wire sequence number for a flow (first is 1).
+func (st *Stack) NextSeq(flowID uint32) uint32 {
+	st.nextSeq[flowID]++
+	return st.nextSeq[flowID]
+}
+
 // NewSocket allocates a socket owned by pid.
 func (st *Stack) NewSocket(pid uint32) *Socket {
-	s := &Socket{ID: st.nextSock, Owner: pid}
+	s := &Socket{ID: st.nextSock, Owner: pid, rxNext: 1}
 	st.nextSock++
 	st.sockets[s.ID] = s
 	return s

@@ -185,6 +185,66 @@ func TestFlowLogAndLookups(t *testing.T) {
 	}
 }
 
+func TestNextSeqPerFlow(t *testing.T) {
+	st := NewStack("10.0.0.1")
+	if st.NextSeq(1) != 1 || st.NextSeq(1) != 2 || st.NextSeq(2) != 1 {
+		t.Error("NextSeq counters not per-flow starting at 1")
+	}
+}
+
+func TestAcceptSeqReassembly(t *testing.T) {
+	st := NewStack("10.0.0.1")
+	sock := st.NewSocket(1)
+
+	// Zero seq bypasses sequencing entirely.
+	if got := sock.AcceptSeq(0, []byte("raw")); len(got) != 1 || string(got[0]) != "raw" {
+		t.Fatalf("seq 0 bypass = %v", got)
+	}
+
+	// Out-of-order: 2 buffers, 1 delivers both in order.
+	if got := sock.AcceptSeq(2, []byte("two")); got != nil {
+		t.Fatalf("early seq delivered: %v", got)
+	}
+	if sock.PendingSegments() != 1 {
+		t.Fatalf("pending = %d", sock.PendingSegments())
+	}
+	got := sock.AcceptSeq(1, []byte("one"))
+	if len(got) != 2 || string(got[0]) != "one" || string(got[1]) != "two" {
+		t.Fatalf("reassembly = %q", got)
+	}
+	if sock.PendingSegments() != 0 {
+		t.Fatalf("pending after flush = %d", sock.PendingSegments())
+	}
+
+	// Duplicates of delivered and buffered segments are dropped.
+	if got := sock.AcceptSeq(1, []byte("one")); got != nil {
+		t.Fatalf("stale duplicate delivered: %v", got)
+	}
+	if got := sock.AcceptSeq(4, []byte("four-a")); got != nil {
+		t.Fatal("early seq delivered")
+	}
+	if got := sock.AcceptSeq(4, []byte("four-b")); got != nil {
+		t.Fatal("duplicate of buffered seq delivered")
+	}
+	got = sock.AcceptSeq(3, []byte("three"))
+	if len(got) != 2 || string(got[0]) != "three" || string(got[1]) != "four-a" {
+		t.Fatalf("first buffered copy must win: %q", got)
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	a, b := Checksum([]byte("abc")), Checksum([]byte("abd"))
+	if a == b {
+		t.Error("checksum collision on adjacent payloads")
+	}
+	if Checksum(nil) == 0 || Checksum([]byte("x")) == 0 {
+		t.Error("checksum returned reserved zero value")
+	}
+	if a != Checksum([]byte("abc")) {
+		t.Error("checksum not stable")
+	}
+}
+
 func TestEndpointsSorted(t *testing.T) {
 	st := NewStack("10.0.0.1")
 	st.AddEndpoint(Addr{IP: "2.2.2.2", Port: 2}, echoEndpoint{})

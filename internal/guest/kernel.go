@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"faros/internal/faults"
 	"faros/internal/guest/gfs"
 	"faros/internal/guest/gnet"
 	"faros/internal/isa"
@@ -111,6 +112,15 @@ type Kernel struct {
 	recorder *record.Recorder
 	shutdown bool
 
+	// inj is the optional fault injector; nil means no faults (all its
+	// methods are nil-safe).
+	inj *faults.Injector
+	// exceptions collects structured guest faults for the run summary.
+	exceptions []GuestException
+	// unknownFlowDrops counts packets delivered to flows the stack does not
+	// know; in replay this signals log/spec divergence.
+	unknownFlowDrops int
+
 	keyboard []byte
 	audio    []byte
 
@@ -187,9 +197,39 @@ func (k *Kernel) EnableReplay(log *record.Log) {
 // keyboard/audio input).
 func (k *Kernel) ScheduleEvent(ev record.Event) { k.events.Push(ev) }
 
-// SchedulePacket implements gnet.Scheduler.
+// SetFaultInjector attaches a fault injector (nil disables injection).
+// Attach it only for live runs: the recorder logs the post-fault wire
+// stream, so a replay of a chaos recording must run without net injection.
+func (k *Kernel) SetFaultInjector(inj *faults.Injector) { k.inj = inj }
+
+// FaultStats returns the injector's counters (zero if none attached).
+func (k *Kernel) FaultStats() faults.Stats { return k.inj.Stats() }
+
+// PendingEvents returns the number of undelivered queued events; a replay
+// that ends with events still pending did not reproduce its recording.
+func (k *Kernel) PendingEvents() int { return k.events.Len() }
+
+// UnknownFlowDrops returns how many packets arrived for flows the stack
+// does not know — in replay, a divergence signal.
+func (k *Kernel) UnknownFlowDrops() int { return k.unknownFlowDrops }
+
+// SchedulePacket implements gnet.Scheduler. Each logical packet gets a
+// per-flow wire sequence number and a payload checksum; under a fault plan
+// it expands into the injector's wire copies (dropped attempts delay,
+// corrupted attempts carry mangled bytes, duplicates share the Seq).
 func (k *Kernel) SchedulePacket(flowID uint32, delay uint64, data []byte) {
-	k.events.Push(record.Event{At: k.M.InstrCount + delay, Kind: record.EvPacketIn, Flow: flowID, Data: data})
+	seq := k.Net.NextSeq(flowID)
+	sum := gnet.Checksum(data)
+	for _, wc := range k.inj.WireCopies(data) {
+		k.events.Push(record.Event{
+			At:   k.M.InstrCount + delay + wc.Delay,
+			Kind: record.EvPacketIn,
+			Flow: flowID,
+			Data: wc.Data,
+			Seq:  seq,
+			Sum:  sum,
+		})
+	}
 }
 
 // ScheduleFlowClose implements gnet.Scheduler.
@@ -637,21 +677,40 @@ func (k *Kernel) deliverDue() {
 }
 
 // deliverPacket pushes packet bytes (tagged by the bridge) into the flow's
-// socket and completes a blocked recv if one is pending.
+// socket and completes a blocked recv if one is pending. Wire copies whose
+// checksum does not verify were corrupted in transit and are discarded;
+// sequenced copies go through the socket's reassembly buffer so duplicates
+// drop and reordered payloads deliver in order.
 func (k *Kernel) deliverPacket(ev record.Event) {
 	flow, ok := k.Net.Flow(ev.Flow)
 	if !ok {
+		k.unknownFlowDrops++
 		k.Console = append(k.Console, fmt.Sprintf("kernel: dropped packet for unknown flow %d", ev.Flow))
 		return
 	}
 	k.capturePacket(ev.Flow, true, ev.Data)
-	prov := k.Bridge.PacketIn(*flow, ev.Data)
-	sock, err := k.Net.DeliverPacket(ev.Flow, ev.Data, prov)
-	if err != nil {
-		k.Console = append(k.Console, "kernel: "+err.Error())
+	if ev.Sum != 0 && gnet.Checksum(ev.Data) != ev.Sum {
+		k.Console = append(k.Console, fmt.Sprintf("kernel: flow %d seq %d checksum mismatch, packet discarded", ev.Flow, ev.Seq))
 		return
 	}
-	k.wakeRecvWaiter(sock)
+	sock, ok := k.Net.SocketForFlow(ev.Flow)
+	if !ok {
+		k.unknownFlowDrops++
+		k.Console = append(k.Console, fmt.Sprintf("kernel: no socket for flow %d", ev.Flow))
+		return
+	}
+	delivered := false
+	for _, chunk := range sock.AcceptSeq(ev.Seq, ev.Data) {
+		prov := k.Bridge.PacketIn(*flow, chunk)
+		if _, err := k.Net.DeliverPacket(ev.Flow, chunk, prov); err != nil {
+			k.Console = append(k.Console, "kernel: "+err.Error())
+			return
+		}
+		delivered = true
+	}
+	if delivered {
+		k.wakeRecvWaiter(sock)
+	}
 }
 
 // capturePacket appends to the pcap-style log (payload head bounded).
@@ -679,7 +738,7 @@ func (k *Kernel) wakeRecvWaiter(sock *gnet.Socket) {
 		if len(sock.RX) == 0 && !sock.RemoteClosed {
 			continue
 		}
-		data, prov := sock.TakeRX(int(p.waitBufMax))
+		data, prov := sock.TakeRX(k.inj.CapRead(int(p.waitBufMax)))
 		if len(data) > 0 {
 			if err := k.kwrite(p.Space, p.waitBufVA, data); err != nil {
 				p.CPU.Regs[isa.EAX] = ErrRet
@@ -753,11 +812,33 @@ func (k *Kernel) wakeSleepers() {
 	}
 }
 
+// GuestException is one structured guest fault: a process hit an
+// unrecoverable condition (undecodable opcode, memory violation) and was
+// terminated while the rest of the system kept running.
+type GuestException struct {
+	PID  uint32
+	Name string
+	// At is the machine clock when the fault was taken.
+	At uint64
+	// PC is the faulting instruction address.
+	PC uint32
+	// Reason describes the fault.
+	Reason string
+}
+
+// String renders a crash-report line.
+func (e GuestException) String() string {
+	return fmt.Sprintf("%s(%d) fault at 0x%08X: %s", e.Name, e.PID, e.PC, e.Reason)
+}
+
 // RunSummary reports how a run ended.
 type RunSummary struct {
 	Instructions uint64
 	Reason       string
 	LiveProcs    int
+	// Faults lists the guest exceptions taken during the run; each one
+	// terminated only its process, never the run.
+	Faults []GuestException
 }
 
 // Run executes the guest until shutdown, process exhaustion, deadlock, or
@@ -793,6 +874,7 @@ func (k *Kernel) Run(maxInstr uint64) (RunSummary, error) {
 			}
 		}
 		k.dispatchTo(p)
+		k.injectGuestFault(p)
 		k.runQuantum(p, maxInstr)
 		if p.State != StateDead {
 			k.saveContext(p)
@@ -801,13 +883,44 @@ func (k *Kernel) Run(maxInstr uint64) (RunSummary, error) {
 	return k.summary("shutdown event"), nil
 }
 
-// runQuantum executes p for up to one quantum, handling traps.
+// injectGuestFault applies a planned guest-level fault to the dispatched
+// process: a flipped opcode byte under EIP or a wild jump to an unmapped
+// page. The process takes a structured exception on its next step and is
+// terminated by runQuantum while the rest of the system keeps running.
+func (k *Kernel) injectGuestFault(p *Process) {
+	switch k.inj.GuestFault(p.Name) {
+	case faults.GuestFlip:
+		// 0xFF is not a valid opcode; the decode fails at fetch. kwrite also
+		// invalidates the icache so the corrupted byte is observed. A write
+		// failure (EIP already unmapped) is fine: the fetch faults anyway.
+		_ = k.kwrite(p.Space, k.M.CPU.EIP, []byte{0xFF})
+	case faults.GuestProbe:
+		k.M.CPU.EIP = 0x00000FF8 // below every mapping: guaranteed unmapped
+	}
+}
+
+// runQuantum executes p for up to one quantum, handling traps. A fault
+// terminates only p — it is recorded as a structured guest exception and
+// the scheduler moves on, mirroring how a real OS converts a CPU fault
+// into process termination rather than a machine halt.
 func (k *Kernel) runQuantum(p *Process, maxInstr uint64) {
 	steps := k.Quantum
 	for steps > 0 && k.M.InstrCount < maxInstr {
 		trap, err := k.M.Step()
 		if err != nil {
 			k.saveContext(p)
+			exc := GuestException{
+				PID:    p.PID,
+				Name:   p.Name,
+				At:     k.M.InstrCount,
+				PC:     p.CPU.EIP,
+				Reason: err.Error(),
+			}
+			if fe, ok := err.(*vm.FaultError); ok {
+				exc.PC = fe.PC
+			}
+			k.exceptions = append(k.exceptions, exc)
+			k.Console = append(k.Console, "kernel: "+exc.String())
 			k.killProcess(p, err.Error())
 			return
 		}
@@ -845,5 +958,10 @@ func (k *Kernel) summary(reason string) RunSummary {
 			live++
 		}
 	}
-	return RunSummary{Instructions: k.M.InstrCount, Reason: reason, LiveProcs: live}
+	return RunSummary{
+		Instructions: k.M.InstrCount,
+		Reason:       reason,
+		LiveProcs:    live,
+		Faults:       append([]GuestException(nil), k.exceptions...),
+	}
 }

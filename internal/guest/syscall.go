@@ -82,9 +82,15 @@ func (k *Kernel) dispatchSyscall(p *Process, no uint32, args [4]uint32) (uint32,
 		return p.AddHandle(&Handle{Kind: HandleFile, FileName: name}), false
 
 	case SysReadFile:
+		if k.inj.FaultSyscall() {
+			return StatusRetry, false
+		}
 		return k.sysReadFile(p, args), false
 
 	case SysWriteFile:
+		if k.inj.FaultSyscall() {
+			return StatusRetry, false
+		}
 		return k.sysWriteFile(p, args), false
 
 	case SysDeleteFile:
@@ -114,6 +120,9 @@ func (k *Kernel) dispatchSyscall(p *Process, no uint32, args [4]uint32) (uint32,
 		return k.sysSend(p, args), false
 
 	case SysRecv:
+		if k.inj.FaultSyscall() {
+			return StatusRetry, false
+		}
 		return k.sysRecv(p, args)
 
 	case SysVirtualAlloc:
@@ -410,7 +419,7 @@ func (k *Kernel) sysRecv(p *Process, args [4]uint32) (uint32, bool) {
 		p.blockOnRecv(sock.ID, args[1], args[2])
 		return 0, true
 	}
-	data, prov := sock.TakeRX(max)
+	data, prov := sock.TakeRX(k.inj.CapRead(max))
 	if err := k.kwrite(p.Space, args[1], data); err != nil {
 		return ErrRet, false
 	}

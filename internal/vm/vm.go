@@ -369,16 +369,37 @@ func EffectiveAddr(cpu *CPU, in isa.Instruction) (addr uint32, ok bool) {
 	return 0, false
 }
 
-// Step executes one instruction. On TrapFault the returned error describes
-// the fault and EIP is unchanged; for all other traps EIP has advanced.
+// FaultError is the typed error carried by every TrapFault return from
+// Step. It records the faulting PC so kernels can build structured guest
+// exceptions instead of treating the fault as an opaque run failure.
+type FaultError struct {
+	// PC is the address of the faulting instruction.
+	PC uint32
+	// Err describes the fault (decode error, memory violation, ...).
+	Err error
+}
+
+func (e *FaultError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying fault cause to errors.Is/As.
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// fault pairs TrapFault with a typed FaultError at pc.
+func fault(pc uint32, err error) (Trap, error) {
+	return TrapFault, &FaultError{PC: pc, Err: err}
+}
+
+// Step executes one instruction. On TrapFault the returned error is a
+// *FaultError describing the fault and EIP is unchanged; for all other
+// traps EIP has advanced.
 func (m *Machine) Step() (Trap, error) {
 	if m.space == nil {
-		return TrapFault, fmt.Errorf("vm: no address space loaded")
+		return fault(m.CPU.EIP, fmt.Errorf("vm: no address space loaded"))
 	}
 	pc := m.CPU.EIP
 	in, err := m.FetchInstr(pc)
 	if err != nil {
-		return TrapFault, fmt.Errorf("vm: fetch at 0x%08X: %w", pc, err)
+		return fault(pc, fmt.Errorf("vm: fetch at 0x%08X: %w", pc, err))
 	}
 	for _, h := range m.beforeInstr {
 		h(m, pc, in)
@@ -409,7 +430,7 @@ func (m *Machine) Step() (Trap, error) {
 			v, err = m.read8(pc, in, addr)
 		}
 		if err != nil {
-			return TrapFault, err
+			return fault(pc, err)
 		}
 		regs[in.Dst] = v
 	case isa.OpSt, isa.OpStb:
@@ -420,7 +441,7 @@ func (m *Machine) Step() (Trap, error) {
 			err = m.write8(pc, in, addr, byte(regs[in.Src]))
 		}
 		if err != nil {
-			return TrapFault, err
+			return fault(pc, err)
 		}
 	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpMul, isa.OpShl, isa.OpShr:
 		src := in.Imm
@@ -448,13 +469,13 @@ func (m *Machine) Step() (Trap, error) {
 		regs[isa.ESP] -= 4
 		if err := m.write32(pc, in, regs[isa.ESP], pc+isa.InstrSize); err != nil {
 			regs[isa.ESP] += 4
-			return TrapFault, err
+			return fault(pc, err)
 		}
 		next = m.jumpTarget(pc, in)
 	case isa.OpRet:
 		v, err := m.read32(pc, in, regs[isa.ESP])
 		if err != nil {
-			return TrapFault, err
+			return fault(pc, err)
 		}
 		regs[isa.ESP] += 4
 		next = v
@@ -466,17 +487,17 @@ func (m *Machine) Step() (Trap, error) {
 		regs[isa.ESP] -= 4
 		if err := m.write32(pc, in, regs[isa.ESP], v); err != nil {
 			regs[isa.ESP] += 4
-			return TrapFault, err
+			return fault(pc, err)
 		}
 	case isa.OpPop:
 		v, err := m.read32(pc, in, regs[isa.ESP])
 		if err != nil {
-			return TrapFault, err
+			return fault(pc, err)
 		}
 		regs[isa.ESP] += 4
 		regs[in.Dst] = v
 	default:
-		return TrapFault, fmt.Errorf("vm: unimplemented opcode %s at 0x%08X", in.Op, pc)
+		return fault(pc, fmt.Errorf("vm: unimplemented opcode %s at 0x%08X", in.Op, pc))
 	}
 
 	m.CPU.EIP = next
