@@ -10,9 +10,12 @@
 //	faros -scenario darkcomet -save run.log -json report.json
 //	faros -file my_attack.json           # bring-your-own-shellcode scenario
 //	faros -scenario evasion_hardcoded_stubs -strict
+//	faros -scenario darkcomet -timeout 30s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -51,7 +54,15 @@ func run() int {
 	strict := flag.Bool("strict", false, "enable the StrictExecCheck policy extension")
 	jsonOut := flag.String("json", "", "write the findings as JSON to this file")
 	dotOut := flag.String("dot", "", "write the first finding's provenance graph (Graphviz) to this file")
+	timeout := flag.Duration("timeout", 0, "abort the analysis after this wall time (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	specs := faros.Scenarios()
 	if *list {
@@ -78,9 +89,14 @@ func run() int {
 	}
 
 	fmt.Printf("recording scenario %s...\n", spec.Name)
-	log, rec, err := scenario.Record(spec)
+	log, rec, err := scenario.RecordContext(ctx, spec, nil)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "faros: record: %v\n", err)
+		var de *scenario.DeadlineError
+		if errors.As(err, &de) {
+			fmt.Fprintf(os.Stderr, "faros: %v (raise -timeout)\n", de)
+		} else {
+			fmt.Fprintf(os.Stderr, "faros: record: %v\n", err)
+		}
 		return 1
 	}
 	fmt.Printf("recorded %d events over %d instructions (%v wall)\n",
@@ -98,14 +114,19 @@ func run() int {
 	}
 
 	fmt.Println("replaying with FAROS taint analysis...")
-	res, err := scenario.Replay(spec, log, scenario.Plugins{
+	res, err := scenario.ReplayContext(ctx, spec, log, scenario.Plugins{
 		Faros:   &core.Config{PropagateAddrDeps: *addrDeps, StrictExecCheck: *strict},
 		Cuckoo:  *withCuckoo,
 		Malfind: *withMalfind,
 		OSI:     true,
-	})
+	}, nil)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "faros: replay: %v\n", err)
+		var de *scenario.DeadlineError
+		if errors.As(err, &de) {
+			fmt.Fprintf(os.Stderr, "faros: %v (raise -timeout)\n", de)
+		} else {
+			fmt.Fprintf(os.Stderr, "faros: replay: %v\n", err)
+		}
 		return 1
 	}
 	fmt.Printf("replay finished: %d instructions (%v wall)\n\n", res.Summary.Instructions, res.WallTime)

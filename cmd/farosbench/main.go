@@ -1,20 +1,36 @@
 // Command farosbench regenerates the paper's evaluation: every table and
-// figure of §VI plus the ablations documented in DESIGN.md.
+// figure of §VI plus the ablations documented in DESIGN.md. The corpus
+// sweeps run through the shared analysis pool, one scenario per core.
 //
 // Usage:
 //
 //	farosbench                 # run every experiment
 //	farosbench -exp table3     # run one experiment
 //	farosbench -list           # list experiment names
+//	farosbench -json           # machine-readable per-experiment results
+//
+// A failing experiment does not abort the sweep: every experiment runs,
+// and the exit code is non-zero if any of them failed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"faros/internal/experiments"
 )
+
+// expResult is one experiment's outcome in -json mode.
+type expResult struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Output string `json:"output,omitempty"`
+	Error  string `json:"error,omitempty"`
+	WallMS int64  `json:"wall_ms"`
+}
 
 func main() {
 	os.Exit(runRecovered())
@@ -35,6 +51,7 @@ func runRecovered() (code int) {
 func run() int {
 	exp := flag.String("exp", "", "experiment to run (default: all)")
 	list := flag.Bool("list", false, "list experiment names")
+	jsonOut := flag.Bool("json", false, "emit per-experiment results as JSON on stdout")
 	flag.Parse()
 
 	if *list {
@@ -48,13 +65,33 @@ func run() int {
 	if *exp != "" {
 		names = []string{*exp}
 	}
+	results := make([]expResult, 0, len(names))
+	failed := 0
 	for _, name := range names {
+		start := time.Now()
 		out, err := experiments.Run(name)
+		r := expResult{Name: name, OK: err == nil, Output: out,
+			WallMS: time.Since(start).Milliseconds()}
 		if err != nil {
+			failed++
+			r.Error = err.Error()
 			fmt.Fprintf(os.Stderr, "farosbench: %s: %v\n", name, err)
-			return 1
+		} else if !*jsonOut {
+			fmt.Printf("==== %s ====\n%s\n", name, out)
 		}
-		fmt.Printf("==== %s ====\n%s\n", name, out)
+		results = append(results, r)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "farosbench: json: %v\n", err)
+			return 2
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "farosbench: %d/%d experiments failed\n", failed, len(names))
+		return 1
 	}
 	return 0
 }

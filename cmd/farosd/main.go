@@ -1,0 +1,91 @@
+// Command farosd is the analysis service: the scenario engine behind an
+// HTTP JSON API, running jobs on a bounded worker pool with per-job
+// deadlines, result caching keyed by the deterministic spec hash, and a
+// Prometheus-style metrics endpoint.
+//
+// Usage:
+//
+//	farosd                         # listen on :7373, GOMAXPROCS workers
+//	farosd -addr :9000 -workers 8 -timeout 30s -cache 1024
+//
+// API:
+//
+//	POST /analyze        {"scenario": "njrat", "wait": true}
+//	POST /analyze        {"scenario_file": {...}, "mode": "live"}
+//	GET  /jobs/{id}      job status and result
+//	GET  /results/{hash} cached result by cache key
+//	GET  /metrics        Prometheus text exposition
+//	GET  /stats          pipeline.Stats as JSON
+//	GET  /scenarios      built-in scenario namespace
+//	GET  /healthz        liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"faros"
+	"faros/internal/pipeline"
+	"faros/internal/samples"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":7373", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "job queue depth (0 = default 256)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "default per-job deadline (negative disables)")
+	cache := flag.Int("cache", 0, "result cache capacity (0 = default 512, negative disables)")
+	flag.Parse()
+
+	pool := pipeline.New(pipeline.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *timeout,
+		CacheCap:   *cache,
+	})
+	handler := pipeline.NewHandler(pool, pipeline.ServerConfig{
+		Resolve: func(name string) (samples.Spec, bool) {
+			spec, ok := faros.Scenarios()[name]
+			return spec, ok
+		},
+		Names: faros.ScenarioNames,
+	})
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("farosd listening on %s (%d workers, %v job timeout)\n",
+		*addr, pool.Stats().Workers, *timeout)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("farosd: %v, shutting down\n", sig)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "farosd: %v\n", err)
+		pool.Close()
+		return 1
+	}
+
+	// Stop accepting requests, then drain the pool.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "farosd: shutdown: %v\n", err)
+	}
+	pool.Close()
+	fmt.Print(pool.Stats().String())
+	return 0
+}

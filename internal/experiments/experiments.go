@@ -1,7 +1,9 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§VI) plus the ablations called out in DESIGN.md. Each
 // experiment returns its rendered output; cmd/farosbench prints them and
-// the root bench_test.go wraps them in testing.B benchmarks.
+// the root bench_test.go wraps them in testing.B benchmarks. The corpus
+// sweeps submit their scenarios through a shared pipeline pool (see
+// pool.go), so they run one scenario per core instead of serially.
 package experiments
 
 import (
@@ -9,6 +11,7 @@ import (
 	"strings"
 
 	"faros/internal/core"
+	"faros/internal/pipeline"
 	"faros/internal/report"
 	"faros/internal/samples"
 	"faros/internal/scenario"
@@ -28,11 +31,13 @@ func Detection() (string, error) {
 		"darkcomet":             "code/process injection",
 		"njrat":                 "code/process injection",
 	}
-	for _, spec := range samples.Attacks() {
-		res, err := scenario.Detect(spec)
-		if err != nil {
-			return "", fmt.Errorf("%s: %w", spec.Name, err)
-		}
+	specs := samples.Attacks()
+	results, err := detectAll(specs)
+	if err != nil {
+		return "", err
+	}
+	for i, spec := range specs {
+		res := results[i]
 		victim, rule := "-", "-"
 		if res.Flagged() {
 			fd := res.Faros.Findings()[0]
@@ -101,11 +106,13 @@ func TableIII() (string, error) {
 		"Workload", "Kind", "Flagged", "Rule")
 	applets := samples.JavaApplets()
 	flagged := 0
-	for i, spec := range samples.JITWorkloads() {
-		res, err := scenario.RunLive(spec, scenario.Plugins{Faros: &core.Config{}})
-		if err != nil {
-			return "", fmt.Errorf("%s: %w", spec.Name, err)
-		}
+	specs := samples.JITWorkloads()
+	results, err := liveAll(specs, core.Config{})
+	if err != nil {
+		return "", err
+	}
+	for i, spec := range specs {
+		res := results[i]
 		kind := "AJAX website"
 		name := spec.Name
 		if i < len(applets) {
@@ -146,16 +153,16 @@ func TableIV() (string, error) {
 	}
 
 	run := func(specs []samples.Spec) (int, int, []string, error) {
+		results, err := liveAll(specs, core.Config{})
+		if err != nil {
+			return 0, 0, nil, err
+		}
 		fps := 0
 		var names []string
-		for _, spec := range specs {
-			res, err := scenario.RunLive(spec, scenario.Plugins{Faros: &core.Config{}})
-			if err != nil {
-				return 0, 0, nil, fmt.Errorf("%s: %w", spec.Name, err)
-			}
+		for i, res := range results {
 			if res.Flagged() {
 				fps++
-				names = append(names, spec.Name)
+				names = append(names, specs[i].Name)
 			}
 		}
 		return len(specs), fps, names, nil
@@ -220,11 +227,12 @@ func CuckooComparison() (string, error) {
 		samples.DarkComet(),
 		samples.TransientReflective(),
 	}
-	for _, spec := range cases {
-		res, err := scenario.Detect(spec)
-		if err != nil {
-			return "", fmt.Errorf("%s: %w", spec.Name, err)
-		}
+	results, err := detectAll(cases)
+	if err != nil {
+		return "", err
+	}
+	for i, spec := range cases {
+		res := results[i]
 		cuckooFlag := res.Cuckoo != nil && res.Cuckoo.FlaggedInjection()
 		malfindFlag := res.Malfind != nil && res.Malfind.Flagged()
 		prov, netlink := "none", "no"
@@ -347,14 +355,22 @@ func AblateProcTag() (string, error) {
 func AblateListCap() (string, error) {
 	t := report.New("Ablation — provenance list cap",
 		"Cap", "Flagged", "Lists interned", "Lists truncated")
-	for _, capSize := range []int{2, 4, 8, 16, 32} {
-		cfg := core.Config{ListCap: capSize}
-		res, err := scenario.RunLive(samples.ReflectiveDLLInject(), scenario.Plugins{Faros: &cfg})
-		if err != nil {
-			return "", err
+	caps := []int{2, 4, 8, 16, 32}
+	reqs := make([]pipeline.Request, len(caps))
+	for i, capSize := range caps {
+		reqs[i] = pipeline.Request{
+			Spec:   samples.ReflectiveDLLInject(),
+			Mode:   pipeline.ModeLive,
+			Config: core.Config{ListCap: capSize},
 		}
+	}
+	results, err := runAll(reqs)
+	if err != nil {
+		return "", err
+	}
+	for i, res := range results {
 		st := res.Faros.Stats()
-		t.Add(capSize, report.YesNo(res.Flagged()), st.Taint.ListsInterned, st.Taint.ListsTruncated)
+		t.Add(caps[i], report.YesNo(res.Flagged()), st.Taint.ListsInterned, st.Taint.ListsTruncated)
 	}
 	return t.String(), nil
 }
@@ -376,15 +392,19 @@ func Evasion() (string, error) {
 		{samples.EvasionHardcodedStubs(), "hardcoded API stub addresses", "no tagged read; strict mode flags tainted code executing"},
 		{samples.EvasionBitLaundering(), "bit-by-bit taint laundering", "control-dependency copy strips tags (acknowledged limit)"},
 	}
+	reqs := make([]pipeline.Request, 0, 2*len(rows))
 	for _, r := range rows {
-		def, err := scenario.RunLive(r.spec, scenario.Plugins{Faros: &core.Config{}})
-		if err != nil {
-			return "", fmt.Errorf("%s: %w", r.spec.Name, err)
-		}
-		strict, err := scenario.RunLive(r.spec, scenario.Plugins{Faros: &core.Config{StrictExecCheck: true}})
-		if err != nil {
-			return "", fmt.Errorf("%s strict: %w", r.spec.Name, err)
-		}
+		reqs = append(reqs,
+			pipeline.Request{Spec: r.spec, Mode: pipeline.ModeLive},
+			pipeline.Request{Spec: r.spec, Mode: pipeline.ModeLive,
+				Config: core.Config{StrictExecCheck: true}})
+	}
+	results, err := runAll(reqs)
+	if err != nil {
+		return "", err
+	}
+	for i, r := range rows {
+		def, strict := results[2*i], results[2*i+1]
 		t.Add(r.label, report.YesNo(def.Flagged()), report.YesNo(strict.Flagged()), r.notes)
 	}
 	out := t.String()

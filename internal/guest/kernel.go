@@ -112,6 +112,14 @@ type Kernel struct {
 	recorder *record.Recorder
 	shutdown bool
 
+	// preemptCheck, when set, is consulted every preemptEvery retired
+	// instructions; a non-nil error aborts the run (cooperative
+	// cancellation — a wedged guest cannot pin its host goroutine for
+	// longer than one check interval).
+	preemptCheck func() error
+	preemptEvery uint64
+	preemptAt    uint64
+
 	// inj is the optional fault injector; nil means no faults (all its
 	// methods are nil-safe).
 	inj *faults.Injector
@@ -196,6 +204,27 @@ func (k *Kernel) EnableReplay(log *record.Log) {
 // ScheduleEvent schedules a raw event (scenario scripts use it for
 // keyboard/audio input).
 func (k *Kernel) ScheduleEvent(ev record.Event) { k.events.Push(ev) }
+
+// DefaultPreemptInterval is how many guest instructions run between
+// preemption checks when the caller does not choose an interval. It is a
+// multiple of the scheduler quantum: small enough that a deadline is seen
+// within microseconds of wall time, large enough that the check itself is
+// noise.
+const DefaultPreemptInterval uint64 = 4096
+
+// SetPreemption installs a cancellation check consulted at least every
+// `every` retired instructions (0 uses DefaultPreemptInterval). When the
+// check returns a non-nil error, Run stops at the next scheduler boundary
+// and returns that error alongside a partial summary. A nil check disables
+// preemption.
+func (k *Kernel) SetPreemption(every uint64, check func() error) {
+	if every == 0 {
+		every = DefaultPreemptInterval
+	}
+	k.preemptCheck = check
+	k.preemptEvery = every
+	k.preemptAt = k.M.InstrCount + every
+}
 
 // SetFaultInjector attaches a fault injector (nil disables injection).
 // Attach it only for live runs: the recorder logs the post-fault wire
@@ -845,6 +874,12 @@ type RunSummary struct {
 // the instruction budget is exhausted.
 func (k *Kernel) Run(maxInstr uint64) (RunSummary, error) {
 	for !k.shutdown {
+		if k.preemptCheck != nil && k.M.InstrCount >= k.preemptAt {
+			if err := k.preemptCheck(); err != nil {
+				return k.summary("preempted: " + err.Error()), err
+			}
+			k.preemptAt = k.M.InstrCount + k.preemptEvery
+		}
 		if k.M.InstrCount >= maxInstr {
 			return k.summary("instruction budget exhausted"), nil
 		}

@@ -1,0 +1,217 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"faros/internal/core"
+	"faros/internal/samples"
+)
+
+// ServerConfig wires the HTTP layer to a scenario namespace. The pipeline
+// package stays below the faros facade, so the binary injects the corpus
+// registry instead of importing it.
+type ServerConfig struct {
+	// Resolve maps a scenario name to its spec (nil disables submission
+	// by name).
+	Resolve func(name string) (samples.Spec, bool)
+	// Names lists the scenario namespace for GET /scenarios.
+	Names func() []string
+}
+
+// AnalyzeRequest is the POST /analyze body. Exactly one of Scenario,
+// ScenarioFile, or Spec selects the work.
+type AnalyzeRequest struct {
+	// Scenario names a built-in corpus entry.
+	Scenario string `json:"scenario,omitempty"`
+	// ScenarioFile is an inline bring-your-own-shellcode description in
+	// the samples.ScenarioFile format. payload_hex only: payload_asm
+	// names a server-side file and is rejected over HTTP.
+	ScenarioFile *samples.ScenarioFile `json:"scenario_file,omitempty"`
+	// Spec is a full serialized spec in the canonical wire form
+	// (samples.MarshalSpec).
+	Spec json.RawMessage `json:"spec,omitempty"`
+
+	// Mode is "detect" (default) or "live".
+	Mode string `json:"mode,omitempty"`
+	// Config overrides the live-mode engine configuration.
+	Config *core.Config `json:"config,omitempty"`
+	// TimeoutMS bounds the job's wall time (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Wait makes the request block until the job settles and return the
+	// finished job instead of 202.
+	Wait bool `json:"wait,omitempty"`
+	// NoCache bypasses the result cache for this job.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// resolveSpec materializes the request's scenario selection.
+func (sc ServerConfig) resolveSpec(req AnalyzeRequest) (samples.Spec, error) {
+	selected := 0
+	for _, on := range []bool{req.Scenario != "", req.ScenarioFile != nil, len(req.Spec) > 0} {
+		if on {
+			selected++
+		}
+	}
+	if selected != 1 {
+		return samples.Spec{}, &httpError{http.StatusBadRequest,
+			"exactly one of scenario, scenario_file, spec must be set"}
+	}
+	switch {
+	case req.Scenario != "":
+		if sc.Resolve == nil {
+			return samples.Spec{}, &httpError{http.StatusBadRequest, "named scenarios are not enabled"}
+		}
+		spec, ok := sc.Resolve(req.Scenario)
+		if !ok {
+			return samples.Spec{}, &httpError{http.StatusNotFound,
+				fmt.Sprintf("unknown scenario %q (GET /scenarios lists the namespace)", req.Scenario)}
+		}
+		return spec, nil
+	case req.ScenarioFile != nil:
+		if req.ScenarioFile.PayloadASM != "" {
+			return samples.Spec{}, &httpError{http.StatusBadRequest,
+				"payload_asm names a server-side file; submit payload_hex over HTTP"}
+		}
+		spec, err := samples.BuildScenario(*req.ScenarioFile, "")
+		if err != nil {
+			return samples.Spec{}, &httpError{http.StatusBadRequest, err.Error()}
+		}
+		return spec, nil
+	default:
+		spec, err := samples.UnmarshalSpec(req.Spec)
+		if err != nil {
+			return samples.Spec{}, &httpError{http.StatusBadRequest, err.Error()}
+		}
+		return spec, nil
+	}
+}
+
+// NewHandler builds the farosd HTTP API over a pool:
+//
+//	POST /analyze        submit a job (optionally waiting for the result)
+//	GET  /jobs/{id}      job status + result
+//	GET  /results/{hash} cached result by cache key
+//	GET  /metrics        Prometheus text exposition
+//	GET  /stats          Stats snapshot as JSON
+//	GET  /scenarios      scenario namespace
+//	GET  /healthz        liveness
+func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, err error) {
+		status := http.StatusInternalServerError
+		if he, ok := err.(*httpError); ok {
+			status = he.status
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+	}
+
+	mux.HandleFunc("POST /analyze", func(w http.ResponseWriter, r *http.Request) {
+		var req AnalyzeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, &httpError{http.StatusBadRequest, "body: " + err.Error()})
+			return
+		}
+		spec, err := cfg.resolveSpec(req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		preq := Request{
+			Spec:    spec,
+			Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+			NoCache: req.NoCache,
+		}
+		switch req.Mode {
+		case "", string(ModeDetect):
+			preq.Mode = ModeDetect
+		case string(ModeLive):
+			preq.Mode = ModeLive
+		default:
+			writeErr(w, &httpError{http.StatusBadRequest, fmt.Sprintf("unknown mode %q", req.Mode)})
+			return
+		}
+		if req.Config != nil {
+			preq.Config = *req.Config
+		}
+		job, err := p.Submit(preq)
+		switch {
+		case err == ErrQueueFull:
+			writeErr(w, &httpError{http.StatusServiceUnavailable, err.Error()})
+			return
+		case err == ErrClosed:
+			writeErr(w, &httpError{http.StatusServiceUnavailable, err.Error()})
+			return
+		case err != nil:
+			writeErr(w, err)
+			return
+		}
+		if req.Wait {
+			view, err := p.Wait(r.Context(), job)
+			if err != nil {
+				writeErr(w, &httpError{http.StatusRequestTimeout, err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusOK, view)
+			return
+		}
+		view, _ := p.View(job.ID)
+		writeJSON(w, http.StatusAccepted, view)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, ok := p.View(r.PathValue("id"))
+		if !ok {
+			writeErr(w, &httpError{http.StatusNotFound, "unknown job " + r.PathValue("id")})
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+
+	mux.HandleFunc("GET /results/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		res, ok := p.ResultByHash(r.PathValue("hash"))
+		if !ok {
+			writeErr(w, &httpError{http.StatusNotFound, "no cached result for " + r.PathValue("hash")})
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, p.Stats().Prometheus())
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, p.Stats())
+	})
+
+	mux.HandleFunc("GET /scenarios", func(w http.ResponseWriter, r *http.Request) {
+		names := []string{}
+		if cfg.Names != nil {
+			names = cfg.Names()
+		}
+		writeJSON(w, http.StatusOK, map[string][]string{"scenarios": names})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	return mux
+}

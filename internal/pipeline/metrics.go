@@ -1,0 +1,231 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. Guest runs
+// span sub-millisecond microbenchmarks to multi-second corpus sweeps.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// histogram is a fixed-bucket latency histogram (cumulative on render,
+// per-bucket internally).
+type histogram struct {
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	h.sum += seconds
+	h.n++
+	for i, le := range latencyBuckets {
+		if seconds <= le {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(latencyBuckets)]++
+}
+
+// counters is the mutable metric state, guarded by metrics.mu.
+type counters struct {
+	submitted    uint64
+	coalesced    uint64
+	done         uint64
+	failed       uint64
+	deadlines    uint64
+	canceled     uint64
+	cacheHits    uint64
+	cacheMisses  uint64
+	instructions uint64
+	findings     map[string]uint64
+	lat          *histogram
+}
+
+type metrics struct {
+	mu sync.Mutex
+	c  counters
+}
+
+func newMetrics() *metrics {
+	return &metrics{c: counters{findings: make(map[string]uint64), lat: newHistogram()}}
+}
+
+func (m *metrics) add(f func(*counters)) {
+	m.mu.Lock()
+	f(&m.c)
+	m.mu.Unlock()
+}
+
+// LatencyBucket is one cumulative histogram bucket; LE is the upper bound
+// in seconds (math.Inf(1) for the overflow bucket).
+type LatencyBucket struct {
+	LE    float64
+	Count uint64
+}
+
+// snapshotGauges carries point-in-time gauge values into a snapshot.
+type snapshotGauges struct {
+	workers      int
+	queueDepth   int
+	running      int
+	cacheEntries int
+}
+
+// Stats is an immutable snapshot of the pool's observable state. Both the
+// CLI (farosbench progress, farosd logs) and the HTTP layer (/metrics,
+// /stats) render this one type.
+type Stats struct {
+	Workers      int `json:"workers"`
+	QueueDepth   int `json:"queue_depth"`
+	Running      int `json:"running"`
+	CacheEntries int `json:"cache_entries"`
+
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCoalesced uint64 `json:"jobs_coalesced"`
+	JobsDone      uint64 `json:"jobs_done"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsDeadline  uint64 `json:"jobs_deadline"`
+	JobsCanceled  uint64 `json:"jobs_canceled"`
+
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+
+	Instructions   uint64            `json:"instructions"`
+	FindingsByRule map[string]uint64 `json:"findings_by_rule,omitempty"`
+
+	LatencyCount   uint64          `json:"latency_count"`
+	LatencySum     time.Duration   `json:"latency_sum_ns"`
+	LatencyBuckets []LatencyBucket `json:"-"`
+}
+
+func (m *metrics) snapshot(g snapshotGauges) Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		Workers:        g.workers,
+		QueueDepth:     g.queueDepth,
+		Running:        g.running,
+		CacheEntries:   g.cacheEntries,
+		JobsSubmitted:  m.c.submitted,
+		JobsCoalesced:  m.c.coalesced,
+		JobsDone:       m.c.done,
+		JobsFailed:     m.c.failed,
+		JobsDeadline:   m.c.deadlines,
+		JobsCanceled:   m.c.canceled,
+		CacheHits:      m.c.cacheHits,
+		CacheMisses:    m.c.cacheMisses,
+		Instructions:   m.c.instructions,
+		FindingsByRule: make(map[string]uint64, len(m.c.findings)),
+		LatencyCount:   m.c.lat.n,
+		LatencySum:     time.Duration(m.c.lat.sum * float64(time.Second)),
+	}
+	for rule, n := range m.c.findings {
+		s.FindingsByRule[rule] = n
+	}
+	cum := uint64(0)
+	for i, le := range latencyBuckets {
+		cum += m.c.lat.counts[i]
+		s.LatencyBuckets = append(s.LatencyBuckets, LatencyBucket{LE: le, Count: cum})
+	}
+	cum += m.c.lat.counts[len(latencyBuckets)]
+	s.LatencyBuckets = append(s.LatencyBuckets, LatencyBucket{LE: math.Inf(1), Count: cum})
+	return s
+}
+
+// CacheHitRate is hits / (hits + misses), 0 when no cacheable submissions
+// have been seen.
+func (s Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// String renders a compact human-readable report (the CLI surface).
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pipeline: %d workers, %d queued, %d running, %d cached results\n",
+		s.Workers, s.QueueDepth, s.Running, s.CacheEntries)
+	fmt.Fprintf(&sb, "jobs: %d submitted, %d done, %d failed (%d deadline), %d canceled, %d coalesced\n",
+		s.JobsSubmitted, s.JobsDone, s.JobsFailed, s.JobsDeadline, s.JobsCanceled, s.JobsCoalesced)
+	fmt.Fprintf(&sb, "cache: %d hits, %d misses (%.0f%% hit rate)\n",
+		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate())
+	fmt.Fprintf(&sb, "guest: %d instructions executed\n", s.Instructions)
+	if len(s.FindingsByRule) > 0 {
+		rules := make([]string, 0, len(s.FindingsByRule))
+		for rule := range s.FindingsByRule {
+			rules = append(rules, rule)
+		}
+		sort.Strings(rules)
+		sb.WriteString("findings:")
+		for _, rule := range rules {
+			fmt.Fprintf(&sb, " %s=%d", rule, s.FindingsByRule[rule])
+		}
+		sb.WriteByte('\n')
+	}
+	if s.LatencyCount > 0 {
+		fmt.Fprintf(&sb, "latency: %d jobs, %v total, %v mean\n",
+			s.LatencyCount, s.LatencySum.Round(time.Millisecond),
+			(s.LatencySum / time.Duration(s.LatencyCount)).Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format (the /metrics surface).
+func (s Stats) Prometheus() string {
+	var sb strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("faros_workers", "Worker pool size.", s.Workers)
+	gauge("faros_jobs_queued", "Jobs waiting in the queue.", s.QueueDepth)
+	gauge("faros_jobs_running", "Jobs currently executing.", s.Running)
+	gauge("faros_cache_entries", "Results held in the cache.", s.CacheEntries)
+	counter("faros_jobs_submitted_total", "Jobs accepted into the queue.", s.JobsSubmitted)
+	counter("faros_jobs_coalesced_total", "Submissions coalesced onto an in-flight identical job.", s.JobsCoalesced)
+	counter("faros_jobs_done_total", "Jobs completed successfully.", s.JobsDone)
+	counter("faros_jobs_failed_total", "Jobs failed (including deadline expiries).", s.JobsFailed)
+	counter("faros_jobs_deadline_total", "Jobs cancelled by their deadline.", s.JobsDeadline)
+	counter("faros_jobs_canceled_total", "Jobs cancelled by request.", s.JobsCanceled)
+	counter("faros_cache_hits_total", "Submissions served from the result cache.", s.CacheHits)
+	counter("faros_cache_misses_total", "Cacheable submissions that missed the cache.", s.CacheMisses)
+	counter("faros_guest_instructions_total", "Guest instructions executed by completed jobs.", s.Instructions)
+
+	fmt.Fprintf(&sb, "# HELP faros_findings_total Findings reported by completed jobs, by rule.\n# TYPE faros_findings_total counter\n")
+	rules := make([]string, 0, len(s.FindingsByRule))
+	for rule := range s.FindingsByRule {
+		rules = append(rules, rule)
+	}
+	sort.Strings(rules)
+	for _, rule := range rules {
+		fmt.Fprintf(&sb, "faros_findings_total{rule=%q} %d\n", rule, s.FindingsByRule[rule])
+	}
+
+	fmt.Fprintf(&sb, "# HELP faros_job_duration_seconds Wall time of completed jobs.\n# TYPE faros_job_duration_seconds histogram\n")
+	for _, b := range s.LatencyBuckets {
+		le := "+Inf"
+		if !math.IsInf(b.LE, 1) {
+			le = strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b.LE), "0"), ".")
+		}
+		fmt.Fprintf(&sb, "faros_job_duration_seconds_bucket{le=%q} %d\n", le, b.Count)
+	}
+	fmt.Fprintf(&sb, "faros_job_duration_seconds_sum %f\n", s.LatencySum.Seconds())
+	fmt.Fprintf(&sb, "faros_job_duration_seconds_count %d\n", s.LatencyCount)
+	return sb.String()
+}

@@ -1,0 +1,585 @@
+// Package pipeline turns the synchronous scenario engine into a shared,
+// concurrent analysis service: a bounded worker pool with a job queue,
+// per-job deadlines with cooperative cancellation (threaded into the guest
+// as instruction-budget preemption checks, so a wedged guest cannot pin a
+// worker), result deduplication and caching behind the deterministic spec
+// hash (record/replay is byte-exact, so equal hashes imply equal results),
+// and a metrics surface rendered by both cmd/farosd's HTTP endpoints and
+// the CLI. internal/experiments submits its corpus sweeps through the same
+// pool, which is what gives farosbench parallel execution.
+package pipeline
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"faros/internal/core"
+	"faros/internal/samples"
+	"faros/internal/scenario"
+)
+
+// Mode selects the analysis workflow a job runs.
+type Mode string
+
+const (
+	// ModeDetect is the paper's analyst workflow: record the scenario
+	// live, then replay it with FAROS, the Cuckoo baseline, the malfind
+	// scan, and OSI attached.
+	ModeDetect Mode = "detect"
+	// ModeLive is a single live pass with only the FAROS engine attached
+	// (the cheaper path the corpus sweeps use; the guest is deterministic,
+	// so results match the record+replay path).
+	ModeLive Mode = "live"
+)
+
+// Request describes one analysis job.
+type Request struct {
+	Spec samples.Spec
+	// Mode defaults to ModeDetect.
+	Mode Mode
+	// Config is the engine configuration for ModeLive (ModeDetect always
+	// uses the paper's default policy, like scenario.Detect).
+	Config core.Config
+	// Timeout bounds the job's wall time (0 = the pool default). On
+	// expiry the guest is preempted cooperatively and the job fails with
+	// a *scenario.DeadlineError.
+	Timeout time.Duration
+	// NoCache skips both cache lookup and insertion for this job.
+	NoCache bool
+}
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Finding is the service-level view of one flagged injection event.
+type Finding struct {
+	Rule    string `json:"rule"`
+	Process string `json:"process"`
+	PID     uint32 `json:"pid"`
+	API     string `json:"api,omitempty"`
+}
+
+// Result is the cacheable outcome of a completed job.
+type Result struct {
+	Hash         string        `json:"hash,omitempty"`
+	Scenario     string        `json:"scenario"`
+	Mode         Mode          `json:"mode"`
+	Flagged      bool          `json:"flagged"`
+	Findings     []Finding     `json:"findings,omitempty"`
+	Instructions uint64        `json:"instructions"`
+	WallTime     time.Duration `json:"wall_ns"`
+	// Degraded carries the scenario's partial-failure error (recovered
+	// plugin panic, replay divergence) when the run completed degraded.
+	Degraded string `json:"degraded,omitempty"`
+
+	// Raw is the full scenario result for in-process consumers (the
+	// experiment sweeps); it is never serialized.
+	Raw *scenario.Result `json:"-"`
+}
+
+// Job is one submission's handle. All fields are guarded by the pool's
+// mutex; read them through View or after Wait.
+type Job struct {
+	ID       string
+	Hash     string
+	Scenario string
+
+	req      Request
+	state    State
+	cacheHit bool
+	err      error
+	result   *Result
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	canceled bool
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+// Done returns a channel closed when the job finishes.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobView is an immutable snapshot of a job, safe to render.
+type JobView struct {
+	ID        string    `json:"id"`
+	Hash      string    `json:"hash,omitempty"`
+	Scenario  string    `json:"scenario"`
+	State     State     `json:"state"`
+	CacheHit  bool      `json:"cache_hit"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+	Error     string    `json:"error,omitempty"`
+	Result    *Result   `json:"result,omitempty"`
+}
+
+// Runner executes one request; the default runs the scenario engine.
+// Tests inject blocking runners to exercise queue and cancellation
+// behavior deterministically.
+type Runner func(ctx context.Context, req Request) (*scenario.Result, error)
+
+// Config tunes a Pool. The zero value is serviceable.
+type Config struct {
+	// Workers is the pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs (default 256).
+	// Submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// JobTimeout is the default per-job deadline (default 2m; negative
+	// disables).
+	JobTimeout time.Duration
+	// CacheCap bounds the result cache entry count (default 512;
+	// negative disables caching).
+	CacheCap int
+	// Runner overrides the analysis function (tests only).
+	Runner Runner
+}
+
+// ErrQueueFull is returned by Submit when the job queue is at capacity.
+var ErrQueueFull = errors.New("pipeline: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("pipeline: pool closed")
+
+// Pool is the analysis service: a job queue drained by a bounded set of
+// worker goroutines, fronted by a result cache.
+type Pool struct {
+	cfg     Config
+	queue   chan *Job
+	metrics *metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	inflight map[string]*Job   // cache key → queued/running job (dedup)
+	cache    map[string]*Result // cache key → completed result
+	order    []string           // cache keys in insertion order (FIFO eviction)
+	closed   bool
+
+	running atomic.Int64
+	nextID  atomic.Uint64
+	wg      sync.WaitGroup
+}
+
+// New starts a pool with cfg.Workers workers.
+func New(cfg Config) *Pool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = 2 * time.Minute
+	}
+	if cfg.CacheCap == 0 {
+		cfg.CacheCap = 512
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = runScenario
+	}
+	p := &Pool{
+		cfg:      cfg,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		metrics:  newMetrics(),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		cache:    make(map[string]*Result),
+	}
+	p.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// runScenario is the default Runner.
+func runScenario(ctx context.Context, req Request) (*scenario.Result, error) {
+	if req.Mode == ModeLive {
+		cfg := req.Config
+		return scenario.RunLiveContext(ctx, req.Spec, scenario.Plugins{Faros: &cfg}, nil)
+	}
+	return scenario.DetectContext(ctx, req.Spec, nil)
+}
+
+// cacheKey derives the deterministic identity of a request: the spec hash
+// plus the analysis mode and engine configuration (the same spec under a
+// different policy is different work). Returns "" for uncacheable specs
+// (endpoint types without a wire encoding).
+func cacheKey(req Request) string {
+	specHash, err := samples.SpecHash(req.Spec)
+	if err != nil {
+		return ""
+	}
+	cfgJSON, err := json.Marshal(req.Config)
+	if err != nil {
+		return ""
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = ModeDetect
+	}
+	sum := sha256.Sum256([]byte(specHash + "|" + string(mode) + "|" + string(cfgJSON)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Submit enqueues a request. Identical requests (same cache key) are
+// served from the cache when already completed, or coalesced onto the
+// in-flight job when queued/running. Returns the job handle — possibly a
+// shared one — or ErrQueueFull/ErrClosed.
+func (p *Pool) Submit(req Request) (*Job, error) {
+	if req.Mode == "" {
+		req.Mode = ModeDetect
+	}
+	key := ""
+	if !req.NoCache {
+		key = cacheKey(req)
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if key != "" {
+		if res, ok := p.cache[key]; ok {
+			job := p.newJobLocked(req, key)
+			job.state = StateDone
+			job.cacheHit = true
+			job.result = res
+			job.finished = time.Now()
+			close(job.done)
+			p.metrics.add(func(m *counters) { m.cacheHits++ })
+			p.mu.Unlock()
+			return job, nil
+		}
+		if inflight, ok := p.inflight[key]; ok {
+			p.metrics.add(func(m *counters) { m.coalesced++ })
+			p.mu.Unlock()
+			return inflight, nil
+		}
+	}
+	job := p.newJobLocked(req, key)
+	if key != "" {
+		p.inflight[key] = job
+		p.metrics.add(func(m *counters) { m.cacheMisses++ })
+	}
+	select {
+	case p.queue <- job:
+	default:
+		delete(p.jobs, job.ID)
+		if key != "" {
+			delete(p.inflight, key)
+		}
+		p.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	p.metrics.add(func(m *counters) { m.submitted++ })
+	p.mu.Unlock()
+	return job, nil
+}
+
+// newJobLocked allocates and registers a job; p.mu must be held.
+func (p *Pool) newJobLocked(req Request, key string) *Job {
+	job := &Job{
+		ID:        fmt.Sprintf("j%06d", p.nextID.Add(1)),
+		Hash:      key,
+		Scenario:  req.Spec.Name,
+		req:       req,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	p.jobs[job.ID] = job
+	return job
+}
+
+// worker drains the queue until Close.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for job := range p.queue {
+		p.runJob(job)
+	}
+}
+
+// runJob executes one job end to end.
+func (p *Pool) runJob(job *Job) {
+	p.mu.Lock()
+	if job.canceled {
+		p.finishLocked(job, nil, context.Canceled)
+		p.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.started = time.Now()
+	timeout := job.req.Timeout
+	if timeout == 0 {
+		timeout = p.cfg.JobTimeout
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	job.cancel = cancel
+	req := job.req
+	p.mu.Unlock()
+
+	p.running.Add(1)
+	res, err := p.cfg.Runner(ctx, req)
+	p.running.Add(-1)
+	cancel()
+
+	p.mu.Lock()
+	p.finishLocked(job, res, err)
+	p.mu.Unlock()
+}
+
+// finishLocked records a job's outcome, populates the cache, and wakes
+// waiters; p.mu must be held.
+func (p *Pool) finishLocked(job *Job, res *scenario.Result, err error) {
+	job.finished = time.Now()
+	job.cancel = nil
+	if job.Hash != "" {
+		delete(p.inflight, job.Hash)
+	}
+	wall := job.finished.Sub(job.started)
+	if job.started.IsZero() {
+		wall = 0
+	}
+
+	var de *scenario.DeadlineError
+	switch {
+	case err == nil:
+		job.state = StateDone
+		job.result = buildResult(job, res)
+		p.metrics.add(func(m *counters) {
+			m.done++
+			m.instructions += job.result.Instructions
+			for _, f := range job.result.Findings {
+				m.findings[f.Rule]++
+			}
+			m.lat.observe(wall.Seconds())
+		})
+		if job.Hash != "" && p.cfg.CacheCap >= 0 {
+			p.storeLocked(job.Hash, job.result)
+		}
+	case errors.As(err, &de):
+		job.state = StateFailed
+		job.err = err
+		p.metrics.add(func(m *counters) { m.deadlines++; m.failed++ })
+	case errors.Is(err, context.Canceled):
+		job.state = StateCanceled
+		job.err = err
+		p.metrics.add(func(m *counters) { m.canceled++ })
+	default:
+		job.state = StateFailed
+		job.err = err
+		p.metrics.add(func(m *counters) { m.failed++ })
+	}
+	close(job.done)
+}
+
+// buildResult summarizes a scenario result for the service surface.
+func buildResult(job *Job, res *scenario.Result) *Result {
+	out := &Result{
+		Hash:         job.Hash,
+		Scenario:     job.Scenario,
+		Mode:         job.req.Mode,
+		Instructions: res.Summary.Instructions,
+		WallTime:     res.WallTime,
+		Raw:          res,
+	}
+	if res.Err != nil {
+		out.Degraded = res.Err.Error()
+	}
+	if res.Faros != nil {
+		out.Flagged = res.Faros.Flagged()
+		for _, f := range res.Faros.Findings() {
+			out.Findings = append(out.Findings, Finding{
+				Rule:    f.Rule,
+				Process: f.ProcName,
+				PID:     f.PID,
+				API:     f.ResolvedAPI,
+			})
+		}
+	}
+	return out
+}
+
+// storeLocked inserts into the cache with FIFO eviction; p.mu must be held.
+func (p *Pool) storeLocked(key string, res *Result) {
+	if _, ok := p.cache[key]; !ok {
+		p.order = append(p.order, key)
+	}
+	p.cache[key] = res
+	for p.cfg.CacheCap > 0 && len(p.cache) > p.cfg.CacheCap {
+		oldest := p.order[0]
+		p.order = p.order[1:]
+		delete(p.cache, oldest)
+	}
+}
+
+// Cancel requests cancellation of a job: a queued job is dropped when a
+// worker picks it up, a running job has its context canceled (the guest
+// preemption check observes it within a few thousand instructions).
+func (p *Pool) Cancel(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	job, ok := p.jobs[id]
+	if !ok {
+		return false
+	}
+	job.canceled = true
+	if job.cancel != nil {
+		job.cancel()
+	}
+	return true
+}
+
+// View snapshots a job for rendering.
+func (p *Pool) View(id string) (JobView, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	job, ok := p.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return p.viewLocked(job), true
+}
+
+func (p *Pool) viewLocked(job *Job) JobView {
+	v := JobView{
+		ID:        job.ID,
+		Hash:      job.Hash,
+		Scenario:  job.Scenario,
+		State:     job.state,
+		CacheHit:  job.cacheHit,
+		Submitted: job.submitted,
+		Started:   job.started,
+		Finished:  job.finished,
+		Result:    job.result,
+	}
+	if job.err != nil {
+		v.Error = job.err.Error()
+	}
+	return v
+}
+
+// ResultByHash returns the cached result for a cache key.
+func (p *Pool) ResultByHash(hash string) (*Result, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	res, ok := p.cache[hash]
+	return res, ok
+}
+
+// Wait blocks until the job finishes or ctx expires, then returns its
+// final view.
+func (p *Pool) Wait(ctx context.Context, job *Job) (JobView, error) {
+	select {
+	case <-job.done:
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.viewLocked(job), nil
+}
+
+// RunAll submits every request and waits for all of them, preserving
+// order. The first job error (or submit error) is returned after every
+// submitted job has settled, so a failure never leaves work running.
+func (p *Pool) RunAll(ctx context.Context, reqs []Request) ([]*Result, error) {
+	jobs := make([]*Job, len(reqs))
+	var firstErr error
+	for i, req := range reqs {
+		job, err := p.Submit(req)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", req.Spec.Name, err)
+			}
+			continue
+		}
+		jobs[i] = job
+	}
+	results := make([]*Result, len(reqs))
+	for i, job := range jobs {
+		if job == nil {
+			continue
+		}
+		view, err := p.Wait(ctx, job)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if view.Error != "" {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %s", view.Scenario, view.Error)
+			}
+			continue
+		}
+		results[i] = view.Result
+	}
+	if firstErr != nil {
+		return results, firstErr
+	}
+	return results, nil
+}
+
+// Stats snapshots the pool's counters and gauges.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	cacheEntries := len(p.cache)
+	queued := len(p.queue)
+	p.mu.Unlock()
+	return p.metrics.snapshot(snapshotGauges{
+		workers:      p.cfg.Workers,
+		queueDepth:   queued,
+		running:      int(p.running.Load()),
+		cacheEntries: cacheEntries,
+	})
+}
+
+// Close stops accepting work, cancels anything still running, and waits
+// for the workers to exit.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, job := range p.jobs {
+		job.canceled = true
+		if job.cancel != nil {
+			job.cancel()
+		}
+	}
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,316 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"faros/internal/guest"
+	"faros/internal/samples"
+	"faros/internal/scenario"
+)
+
+// stubResult fabricates a minimal scenario result for injected runners.
+func stubResult(name string) *scenario.Result {
+	res := &scenario.Result{Name: name}
+	res.Summary = guest.RunSummary{Instructions: 1000, Reason: "stub"}
+	return res
+}
+
+// blockingRunner returns a runner that parks until released (or its
+// context ends), so tests can hold jobs in the running state.
+func blockingRunner(release <-chan struct{}) Runner {
+	return func(ctx context.Context, req Request) (*scenario.Result, error) {
+		select {
+		case <-release:
+			return stubResult(req.Spec.Name), nil
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return nil, &scenario.DeadlineError{Scenario: req.Spec.Name, Instructions: 42}
+			}
+			return nil, &scenario.CancelError{Scenario: req.Spec.Name, Instructions: 42}
+		}
+	}
+}
+
+func waitState(t *testing.T, p *Pool, job *Job, want State) JobView {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	view, err := p.Wait(ctx, job)
+	if err != nil {
+		t.Fatalf("wait %s: %v", job.ID, err)
+	}
+	if view.State != want {
+		t.Fatalf("job %s state = %s, want %s (err %q)", job.ID, view.State, want, view.Error)
+	}
+	return view
+}
+
+// TestPoolCacheAndDedup: a completed job's result serves identical
+// re-submissions from the cache; concurrent identical submissions
+// coalesce onto one in-flight job.
+func TestPoolCacheAndDedup(t *testing.T) {
+	release := make(chan struct{})
+	p := New(Config{Workers: 2, Runner: blockingRunner(release)})
+	defer p.Close()
+
+	spec := samples.Spinner(1000)
+	j1, err := p.Submit(Request{Spec: spec, Mode: ModeLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.Hash == "" {
+		t.Fatal("cacheable spec got empty hash")
+	}
+
+	// Identical submission while j1 is in flight coalesces onto it.
+	j2, err := p.Submit(Request{Spec: spec, Mode: ModeLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.ID != j1.ID {
+		t.Errorf("in-flight duplicate got its own job %s (want coalesced onto %s)", j2.ID, j1.ID)
+	}
+
+	// Same spec under a different mode or config is different work.
+	j3, err := p.Submit(Request{Spec: spec, Mode: ModeDetect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID == j1.ID {
+		t.Error("different mode coalesced onto the same job")
+	}
+
+	close(release)
+	waitState(t, p, j1, StateDone)
+	waitState(t, p, j3, StateDone)
+
+	// Re-submission after completion is a cache hit.
+	j4, err := p.Submit(Request{Spec: spec, Mode: ModeLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := waitState(t, p, j4, StateDone)
+	if !view.CacheHit {
+		t.Error("re-submission was not served from cache")
+	}
+	if view.Result == nil || view.Result.Scenario != spec.Name {
+		t.Errorf("cached result = %+v", view.Result)
+	}
+
+	st := p.Stats()
+	if st.CacheHits != 1 || st.JobsCoalesced != 1 {
+		t.Errorf("stats: hits=%d coalesced=%d, want 1/1", st.CacheHits, st.JobsCoalesced)
+	}
+	if st.CacheMisses != 2 {
+		t.Errorf("stats: misses=%d, want 2 (two distinct cacheable jobs)", st.CacheMisses)
+	}
+}
+
+// TestPoolNoCache: NoCache requests never hit or populate the cache.
+func TestPoolNoCache(t *testing.T) {
+	release := make(chan struct{})
+	close(release)
+	p := New(Config{Workers: 1, Runner: blockingRunner(release)})
+	defer p.Close()
+
+	spec := samples.Spinner(1000)
+	j1, _ := p.Submit(Request{Spec: spec, Mode: ModeLive, NoCache: true})
+	waitState(t, p, j1, StateDone)
+	j2, _ := p.Submit(Request{Spec: spec, Mode: ModeLive, NoCache: true})
+	view := waitState(t, p, j2, StateDone)
+	if view.CacheHit {
+		t.Error("NoCache submission served from cache")
+	}
+	if st := p.Stats(); st.CacheHits != 0 || st.CacheMisses != 0 || st.CacheEntries != 0 {
+		t.Errorf("stats = %+v, want no cache activity", st)
+	}
+}
+
+// TestPoolQueueFull: submissions beyond QueueDepth fail fast with
+// ErrQueueFull instead of blocking the caller.
+func TestPoolQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	p := New(Config{Workers: 1, QueueDepth: 1, Runner: blockingRunner(release)})
+	defer p.Close()
+
+	// Distinct specs so nothing coalesces. First occupies the worker,
+	// second sits in the queue; the worker may not have popped the first
+	// yet, so allow one extra before demanding failure.
+	specs := []samples.Spec{samples.Spinner(1), samples.Spinner(2), samples.Spinner(3), samples.Spinner(4)}
+	for i := range specs {
+		specs[i].Name = specs[i].Name + string(rune('a'+i))
+	}
+	var sawFull bool
+	for _, spec := range specs {
+		if _, err := p.Submit(Request{Spec: spec, Mode: ModeLive}); errors.Is(err, ErrQueueFull) {
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Error("queue never reported full")
+	}
+	close(release)
+}
+
+// TestPoolCancel: cancelling a running job interrupts it via its context;
+// cancelling a queued job drops it before it runs.
+func TestPoolCancel(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	p := New(Config{Workers: 1, Runner: blockingRunner(release)})
+	defer p.Close()
+
+	running, _ := p.Submit(Request{Spec: samples.Spinner(1000), Mode: ModeLive})
+	queuedSpec := samples.Spinner(1000)
+	queuedSpec.Name = "spinner_b"
+	queued, _ := p.Submit(Request{Spec: queuedSpec, Mode: ModeLive})
+
+	// Wait for the first job to actually be running before cancelling.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if view, _ := p.View(running.ID); view.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !p.Cancel(running.ID) || !p.Cancel(queued.ID) {
+		t.Fatal("cancel returned false for a known job")
+	}
+	waitState(t, p, running, StateCanceled)
+	waitState(t, p, queued, StateCanceled)
+	if st := p.Stats(); st.JobsCanceled != 2 {
+		t.Errorf("canceled counter = %d, want 2", st.JobsCanceled)
+	}
+}
+
+// TestPoolDeadlineRealGuest: a wedged guest (infinite loop, effectively
+// unbounded budget) is cancelled by its per-job deadline through the
+// kernel's preemption check, while other jobs on the pool keep completing.
+func TestPoolDeadlineRealGuest(t *testing.T) {
+	p := New(Config{Workers: 4})
+	defer p.Close()
+
+	wedged, err := p.Submit(Request{
+		Spec:    samples.Spinner(1 << 40),
+		Mode:    ModeLive,
+		Timeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healthy jobs sharing the pool must not be stalled by the wedged one.
+	healthy := make([]*Job, 0, 3)
+	for _, spec := range []samples.Spec{
+		samples.Figure1Workload().Spec,
+		samples.Figure2Workload().Spec,
+		samples.ReflectiveDLLInject(),
+	} {
+		job, err := p.Submit(Request{Spec: spec, Mode: ModeLive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		healthy = append(healthy, job)
+	}
+	for _, job := range healthy {
+		waitState(t, p, job, StateDone)
+	}
+	view := waitState(t, p, wedged, StateFailed)
+	if !strings.Contains(view.Error, "deadline exceeded") {
+		t.Errorf("wedged job error = %q, want deadline exceeded", view.Error)
+	}
+	st := p.Stats()
+	if st.JobsDeadline != 1 {
+		t.Errorf("deadline counter = %d, want 1", st.JobsDeadline)
+	}
+	if st.JobsDone != 3 {
+		t.Errorf("done counter = %d, want 3", st.JobsDone)
+	}
+}
+
+// TestRunAllPreservesOrder: RunAll returns results positionally even
+// though execution is concurrent and out of order.
+func TestRunAllPreservesOrder(t *testing.T) {
+	p := New(Config{Workers: 4})
+	defer p.Close()
+
+	specs := []samples.Spec{
+		samples.Figure1Workload().Spec,
+		samples.Figure2Workload().Spec,
+		samples.ReflectiveDLLInject(),
+	}
+	reqs := make([]Request, len(specs))
+	for i, spec := range specs {
+		reqs[i] = Request{Spec: spec, Mode: ModeLive}
+	}
+	results, err := p.RunAll(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("results[%d] is nil", i)
+		}
+		if res.Scenario != specs[i].Name {
+			t.Errorf("results[%d] = %s, want %s", i, res.Scenario, specs[i].Name)
+		}
+		if res.Raw == nil {
+			t.Errorf("results[%d] missing raw scenario result", i)
+		}
+	}
+	if !results[2].Flagged {
+		t.Error("reflective injection not flagged through the pool")
+	}
+}
+
+// TestPoolClose: Close drains, cancels running work, and rejects new
+// submissions.
+func TestPoolClose(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	p := New(Config{Workers: 1, Runner: blockingRunner(release)})
+	job, _ := p.Submit(Request{Spec: samples.Spinner(1000), Mode: ModeLive})
+	go p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := p.Wait(ctx, job); err != nil {
+		t.Fatalf("job never settled after Close: %v", err)
+	}
+	if _, err := p.Submit(Request{Spec: samples.Spinner(1), Mode: ModeLive}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestCacheEviction: the cache stays within CacheCap, evicting oldest
+// entries first.
+func TestCacheEviction(t *testing.T) {
+	release := make(chan struct{})
+	close(release)
+	p := New(Config{Workers: 1, CacheCap: 2, Runner: blockingRunner(release)})
+	defer p.Close()
+
+	var first *Job
+	for i := 0; i < 3; i++ {
+		spec := samples.Spinner(uint64(1000 + i))
+		job, err := p.Submit(Request{Spec: spec, Mode: ModeLive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = job
+		}
+		waitState(t, p, job, StateDone)
+	}
+	if st := p.Stats(); st.CacheEntries != 2 {
+		t.Errorf("cache entries = %d, want 2", st.CacheEntries)
+	}
+	if _, ok := p.ResultByHash(first.Hash); ok {
+		t.Error("oldest entry survived eviction")
+	}
+}

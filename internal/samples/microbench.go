@@ -135,6 +135,23 @@ func OvertaintWorkload() IndirectWorkload {
 	}
 }
 
+// Spinner builds a busy-loop workload that never exits on its own: it runs
+// until the maxInstr budget (or a caller-imposed deadline) stops it. The
+// pipeline and CLI use it to exercise cooperative cancellation — a wedged
+// guest that would otherwise pin a worker for the whole budget.
+func Spinner(maxInstr uint64) Spec {
+	b := peimg.NewBuilder("spin.exe")
+	b.Text.Label("spin")
+	b.Text.Addi(isa.EAX, 1)
+	b.Text.Jmp("spin")
+	return Spec{
+		Name:      "spinner",
+		Programs:  []Program{build(b, "spin.exe")},
+		AutoStart: []string{"spin.exe"},
+		MaxInstr:  maxInstr,
+	}
+}
+
 // Figure2Workload builds the bit-by-bit copy through if statements.
 func Figure2Workload() IndirectWorkload {
 	b := peimg.NewBuilder("fig2.exe")

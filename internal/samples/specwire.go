@@ -1,0 +1,213 @@
+package samples
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"faros/internal/guest/gnet"
+	"faros/internal/record"
+)
+
+// Spec wire format: a canonical, byte-stable serialization of a fully
+// materialized Spec (programs as built bytes, endpoints as named scripts,
+// scripted device events). Two uses:
+//
+//   - transport: farosd accepts serialized specs over HTTP, so a client can
+//     submit a scenario the server binary does not have built in;
+//   - identity: SpecHash is the SHA-256 of the canonical encoding, and the
+//     pipeline result cache keys off it. Record/replay is byte-exact, so
+//     two specs with equal hashes produce identical analysis results and a
+//     cache hit is sound.
+//
+// Canonicality: encoding is pure Go structs through encoding/json (fixed
+// field order), byte blobs are lowercase hex, and endpoint scripts are
+// encoded by kind + parameters rather than by Go value, so
+// marshal → unmarshal → marshal is byte-identical.
+
+type programWire struct {
+	Path string `json:"path"`
+	Code string `json:"code"` // hex of the built MZ32 image
+}
+
+// scriptWire names one of the built-in endpoint scripts plus its
+// parameters. Out-of-tree gnet.Endpoint implementations are not encodable
+// and make MarshalSpec fail (the pipeline then treats the job as
+// uncacheable rather than risking an unsound hash).
+type scriptWire struct {
+	Kind    string `json:"kind"`
+	Delay   uint64 `json:"delay,omitempty"`
+	Payload string `json:"payload,omitempty"` // hex
+	Banner  string `json:"banner,omitempty"`  // hex
+	Reply   string `json:"reply,omitempty"`   // hex
+}
+
+type endpointWire struct {
+	IP     string     `json:"ip"`
+	Port   uint16     `json:"port"`
+	Script scriptWire `json:"script"`
+}
+
+type eventWire struct {
+	At   uint64 `json:"at"`
+	Kind uint8  `json:"kind"`
+	Flow uint32 `json:"flow,omitempty"`
+	Data string `json:"data,omitempty"` // hex
+	Seq  uint32 `json:"seq,omitempty"`
+	Sum  uint32 `json:"sum,omitempty"`
+}
+
+type specWire struct {
+	Name       string         `json:"name"`
+	Programs   []programWire  `json:"programs,omitempty"`
+	AutoStart  []string       `json:"autostart,omitempty"`
+	Endpoints  []endpointWire `json:"endpoints,omitempty"`
+	Events     []eventWire    `json:"events,omitempty"`
+	MaxInstr   uint64         `json:"max_instr,omitempty"`
+	ExpectRule string         `json:"expect_rule,omitempty"`
+	ExpectFlag bool           `json:"expect_flag,omitempty"`
+}
+
+func encodeScript(ep gnet.Endpoint) (scriptWire, error) {
+	switch e := ep.(type) {
+	case oneShot:
+		return scriptWire{Kind: "oneshot", Delay: e.delay, Payload: hex.EncodeToString(e.payload)}, nil
+	case sink:
+		return scriptWire{Kind: "sink"}, nil
+	case chatterbox:
+		return scriptWire{
+			Kind:   "chatterbox",
+			Delay:  e.delay,
+			Banner: hex.EncodeToString(e.banner),
+			Reply:  hex.EncodeToString(e.reply),
+		}, nil
+	case shellC2:
+		return scriptWire{Kind: "shellc2"}, nil
+	case corpusC2:
+		return scriptWire{Kind: "corpusc2"}, nil
+	}
+	return scriptWire{}, fmt.Errorf("samples: endpoint type %T has no wire encoding", ep)
+}
+
+func decodeScript(w scriptWire) (gnet.Endpoint, error) {
+	unhex := func(s string) ([]byte, error) {
+		if s == "" {
+			return nil, nil
+		}
+		return hex.DecodeString(s)
+	}
+	switch w.Kind {
+	case "oneshot":
+		payload, err := unhex(w.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("samples: script payload: %w", err)
+		}
+		return oneShot{delay: w.Delay, payload: payload}, nil
+	case "sink":
+		return sink{}, nil
+	case "chatterbox":
+		banner, err := unhex(w.Banner)
+		if err != nil {
+			return nil, fmt.Errorf("samples: script banner: %w", err)
+		}
+		reply, err := unhex(w.Reply)
+		if err != nil {
+			return nil, fmt.Errorf("samples: script reply: %w", err)
+		}
+		return chatterbox{banner: banner, reply: reply, delay: w.Delay}, nil
+	case "shellc2":
+		return shellC2{}, nil
+	case "corpusc2":
+		return corpusC2{}, nil
+	}
+	return nil, fmt.Errorf("samples: unknown endpoint script kind %q", w.Kind)
+}
+
+// MarshalSpec serializes a materialized Spec to its canonical wire form.
+// It fails on endpoint types without a wire encoding.
+func MarshalSpec(s Spec) ([]byte, error) {
+	w := specWire{
+		Name:       s.Name,
+		AutoStart:  s.AutoStart,
+		MaxInstr:   s.MaxInstr,
+		ExpectRule: s.ExpectRule,
+		ExpectFlag: s.ExpectFlag,
+	}
+	for _, p := range s.Programs {
+		w.Programs = append(w.Programs, programWire{Path: p.Path, Code: hex.EncodeToString(p.Bytes)})
+	}
+	for _, ep := range s.Endpoints {
+		script, err := encodeScript(ep.Endpoint)
+		if err != nil {
+			return nil, fmt.Errorf("%w (spec %q)", err, s.Name)
+		}
+		w.Endpoints = append(w.Endpoints, endpointWire{IP: ep.Addr.IP, Port: ep.Addr.Port, Script: script})
+	}
+	for _, ev := range s.Events {
+		w.Events = append(w.Events, eventWire{
+			At: ev.At, Kind: uint8(ev.Kind), Flow: ev.Flow,
+			Data: hex.EncodeToString(ev.Data), Seq: ev.Seq, Sum: ev.Sum,
+		})
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalSpec parses a canonical wire form back into a runnable Spec.
+func UnmarshalSpec(data []byte) (Spec, error) {
+	var w specWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return Spec{}, fmt.Errorf("samples: spec wire: %w", err)
+	}
+	if w.Name == "" {
+		return Spec{}, fmt.Errorf("samples: spec wire: missing name")
+	}
+	s := Spec{
+		Name:       w.Name,
+		AutoStart:  w.AutoStart,
+		MaxInstr:   w.MaxInstr,
+		ExpectRule: w.ExpectRule,
+		ExpectFlag: w.ExpectFlag,
+	}
+	for _, p := range w.Programs {
+		code, err := hex.DecodeString(p.Code)
+		if err != nil {
+			return Spec{}, fmt.Errorf("samples: program %s: %w", p.Path, err)
+		}
+		s.Programs = append(s.Programs, Program{Path: p.Path, Bytes: code})
+	}
+	for _, ep := range w.Endpoints {
+		script, err := decodeScript(ep.Script)
+		if err != nil {
+			return Spec{}, err
+		}
+		s.Endpoints = append(s.Endpoints, EndpointSpec{
+			Addr:     gnet.Addr{IP: ep.IP, Port: ep.Port},
+			Endpoint: script,
+		})
+	}
+	for _, ev := range w.Events {
+		data, err := hex.DecodeString(ev.Data)
+		if err != nil {
+			return Spec{}, fmt.Errorf("samples: event data: %w", err)
+		}
+		s.Events = append(s.Events, record.Event{
+			At: ev.At, Kind: record.EventKind(ev.Kind), Flow: ev.Flow,
+			Data: data, Seq: ev.Seq, Sum: ev.Sum,
+		})
+	}
+	return s, nil
+}
+
+// SpecHash returns the SHA-256 (hex) of the spec's canonical wire form —
+// the identity the pipeline's result cache and dedup key off. The hash is
+// stable across processes: it depends only on the spec's materialized
+// content, never on memory layout or map order.
+func SpecHash(s Spec) (string, error) {
+	raw, err := MarshalSpec(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"faros/internal/core"
+	"faros/internal/samples"
+)
+
+// TestRunLiveContextDeadline checks that a context deadline interrupts a
+// long run via the kernel's preemption check and surfaces as a typed
+// *DeadlineError that also matches context.DeadlineExceeded.
+func TestRunLiveContextDeadline(t *testing.T) {
+	spec := samples.Spinner(1 << 40) // never exits on its own
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := RunLiveContext(ctx, spec, Plugins{Faros: &core.Config{}}, nil)
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlineError", err)
+	}
+	if de.Scenario != spec.Name {
+		t.Errorf("DeadlineError.Scenario = %q, want %q", de.Scenario, spec.Name)
+	}
+	if de.Instructions == 0 || de.Instructions >= spec.MaxInstr {
+		t.Errorf("DeadlineError.Instructions = %d, want mid-run", de.Instructions)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("err does not match context.DeadlineExceeded")
+	}
+}
+
+// TestRunLiveContextCancel checks explicit cancellation surfaces as a
+// *CancelError.
+func TestRunLiveContextCancel(t *testing.T) {
+	spec := samples.Spinner(1 << 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunLiveContext(ctx, spec, Plugins{}, nil)
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CancelError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("err does not match context.Canceled")
+	}
+}
+
+// TestDetectContextNoDeadline checks the context path is inert for a
+// background context: detection results are unchanged.
+func TestDetectContextNoDeadline(t *testing.T) {
+	res, err := DetectContext(context.Background(), samples.ReflectiveDLLInject(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Flagged() {
+		t.Error("reflective injection not flagged under DetectContext")
+	}
+}

@@ -6,6 +6,8 @@
 package scenario
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -21,6 +23,35 @@ import (
 
 // DefaultMaxInstr bounds runs whose spec does not set a budget.
 const DefaultMaxInstr uint64 = 5_000_000
+
+// DeadlineError reports a run cancelled by its context deadline before the
+// guest reached shutdown or its instruction budget. It carries how far the
+// guest got so partial progress is observable.
+type DeadlineError struct {
+	Scenario     string
+	Instructions uint64
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("scenario %s: deadline exceeded after %d instructions", e.Scenario, e.Instructions)
+}
+
+// Is makes errors.Is(err, context.DeadlineExceeded) hold for wrapped
+// deadline errors.
+func (e *DeadlineError) Is(target error) bool { return target == context.DeadlineExceeded }
+
+// CancelError reports a run stopped by explicit context cancellation.
+type CancelError struct {
+	Scenario     string
+	Instructions uint64
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("scenario %s: cancelled after %d instructions", e.Scenario, e.Instructions)
+}
+
+// Is makes errors.Is(err, context.Canceled) hold for wrapped cancellations.
+func (e *CancelError) Is(target error) bool { return target == context.Canceled }
 
 // Plugins selects the analysis attached to a run.
 type Plugins struct {
@@ -135,8 +166,10 @@ func attach(k *guest.Kernel, plugins Plugins) (pre *Result, finish func(*Result)
 // run spawns the autostart programs and executes to completion. A panic
 // from plugin or hook code is recovered into Result.Err: the run degrades
 // to a partial report (console, message boxes, fault counters gathered so
-// far) instead of tearing down the whole experiment.
-func run(k *guest.Kernel, spec samples.Spec, plugins Plugins) (res *Result, err error) {
+// far) instead of tearing down the whole experiment. A cancellable ctx is
+// threaded into the kernel as an instruction-budget preemption check, so a
+// deadline interrupts even a wedged guest.
+func run(ctx context.Context, k *guest.Kernel, spec samples.Spec, plugins Plugins) (res *Result, err error) {
 	res = &Result{Name: spec.Name, Kernel: k}
 	start := time.Now()
 	defer func() {
@@ -149,6 +182,9 @@ func run(k *guest.Kernel, spec samples.Spec, plugins Plugins) (res *Result, err 
 			err = nil
 		}
 	}()
+	if ctx.Done() != nil {
+		k.SetPreemption(0, ctx.Err)
+	}
 	_, finish := attach(k, plugins)
 	for _, hook := range plugins.Extra {
 		hook(k)
@@ -163,7 +199,12 @@ func run(k *guest.Kernel, spec samples.Spec, plugins Plugins) (res *Result, err 
 		budget = DefaultMaxInstr
 	}
 	sum, err := k.Run(budget)
-	if err != nil {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return nil, &DeadlineError{Scenario: spec.Name, Instructions: sum.Instructions}
+	case errors.Is(err, context.Canceled):
+		return nil, &CancelError{Scenario: spec.Name, Instructions: sum.Instructions}
+	case err != nil:
 		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
 	}
 	res.Summary = sum
@@ -185,13 +226,20 @@ func Record(spec samples.Spec) (*record.Log, *Result, error) {
 // run (lossy wire, flaky syscalls) and the recorder logs the post-fault
 // event stream, so the log replays without re-drawing network faults.
 func RecordWith(spec samples.Spec, plan *faults.Plan) (*record.Log, *Result, error) {
+	return RecordContext(context.Background(), spec, plan)
+}
+
+// RecordContext is RecordWith honoring a context: the kernel checks the
+// context every few thousand guest instructions and a deadline surfaces as
+// a *DeadlineError.
+func RecordContext(ctx context.Context, spec samples.Spec, plan *faults.Plan) (*record.Log, *Result, error) {
 	rec := record.NewRecorder(spec.Name)
 	k, err := setup(spec, mode{recorder: rec})
 	if err != nil {
 		return nil, nil, err
 	}
 	k.SetFaultInjector(plan.NewInjector())
-	res, err := run(k, spec, Plugins{})
+	res, err := run(ctx, k, spec, Plugins{})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -210,12 +258,17 @@ func Replay(spec samples.Spec, log *record.Log, plugins Plugins) (*Result, error
 // run it verifies the replay actually reproduced the recording and returns
 // a *record.DivergenceError (also stored in Result.Err) if not.
 func ReplayWith(spec samples.Spec, log *record.Log, plugins Plugins, plan *faults.Plan) (*Result, error) {
+	return ReplayContext(context.Background(), spec, log, plugins, plan)
+}
+
+// ReplayContext is ReplayWith honoring a context deadline/cancellation.
+func ReplayContext(ctx context.Context, spec samples.Spec, log *record.Log, plugins Plugins, plan *faults.Plan) (*Result, error) {
 	k, err := setup(spec, mode{replayLog: log})
 	if err != nil {
 		return nil, err
 	}
 	k.SetFaultInjector(plan.NewInjector())
-	res, err := run(k, spec, plugins)
+	res, err := run(ctx, k, spec, plugins)
 	if err != nil || res.Err != nil {
 		return res, err
 	}
@@ -247,12 +300,17 @@ func RunLive(spec samples.Spec, plugins Plugins) (*Result, error) {
 
 // RunLiveWith is RunLive under a fault plan.
 func RunLiveWith(spec samples.Spec, plugins Plugins, plan *faults.Plan) (*Result, error) {
+	return RunLiveContext(context.Background(), spec, plugins, plan)
+}
+
+// RunLiveContext is RunLiveWith honoring a context deadline/cancellation.
+func RunLiveContext(ctx context.Context, spec samples.Spec, plugins Plugins, plan *faults.Plan) (*Result, error) {
 	k, err := setup(spec, mode{})
 	if err != nil {
 		return nil, err
 	}
 	k.SetFaultInjector(plan.NewInjector())
-	return run(k, spec, plugins)
+	return run(ctx, k, spec, plugins)
 }
 
 // Detect is the analyst workflow of §V.C: record the scenario live, then
@@ -263,11 +321,18 @@ func Detect(spec samples.Spec) (*Result, error) {
 
 // DetectWith is Detect under a fault plan applied to both passes.
 func DetectWith(spec samples.Spec, plan *faults.Plan) (*Result, error) {
-	log, _, err := RecordWith(spec, plan)
+	return DetectContext(context.Background(), spec, plan)
+}
+
+// DetectContext is DetectWith honoring a context: the deadline covers both
+// the recording and the replay pass, and exceeding it returns a typed
+// *DeadlineError instead of running to the instruction budget.
+func DetectContext(ctx context.Context, spec samples.Spec, plan *faults.Plan) (*Result, error) {
+	log, _, err := RecordContext(ctx, spec, plan)
 	if err != nil {
 		return nil, err
 	}
-	return ReplayWith(spec, log, Plugins{
+	return ReplayContext(ctx, spec, log, Plugins{
 		Faros:   &core.Config{},
 		Cuckoo:  true,
 		Malfind: true,
