@@ -95,7 +95,34 @@ type Stats struct {
 	Instructions  uint64
 	LoadsChecked  uint64
 	ExportReads   uint64
+	InstrProvHits uint64 // instruction-provenance cache hits
 	FindingsTotal int
+}
+
+// pageTLB is a one-entry software TLB over Space.FrameOf: the engine's
+// range operations translate once per virtual page, and straight-line code
+// touching one page pays a few compares instead of a map probe. It also
+// caches a pointer to the frame's live-taint counter, letting the hot
+// propagation path answer "is this page untainted" with a single load —
+// accurate even while taint flows elsewhere, with no epoch invalidation.
+type pageTLB struct {
+	space *mem.Space
+	gen   uint64
+	vpn   uint32
+	base  uint64 // physical base of the page's shadow bytes
+	ok    bool
+	// live points at the frame's shadow live counter; nil means the frame
+	// had no shadow page when the entry was filled, valid while the store's
+	// PageAllocs count stays at allocGen.
+	live     *int32
+	allocGen uint32
+}
+
+// instrProvEntry caches the provenance of one instruction's bytes, valid
+// while the store's shadow change count still equals changes.
+type instrProvEntry struct {
+	prov    taint.ProvID
+	changes uint64
 }
 
 // FAROS is the attached engine.
@@ -115,9 +142,20 @@ type FAROS struct {
 	execChecked map[uint64]struct{} // CR3<<32|vpn pages already strict-checked
 	trace       *lifecycleTrace     // optional byte-lifecycle watch
 
-	instrs       uint64
-	loadsChecked uint64
-	exportReads  uint64
+	tlb     pageTLB
+	ipCache map[uint64]instrProvEntry // instr PA → provenance at a change count
+
+	// One-entry stamp cache: tainted store loops re-stamp the same list
+	// with the same process tag; Prepend is memoized but this skips even
+	// the memo-map probe. stampOut is only valid while stampTag == curTag.
+	stampIn  taint.ProvID
+	stampOut taint.ProvID
+	stampTag taint.Tag
+
+	instrs        uint64
+	loadsChecked  uint64
+	exportReads   uint64
+	instrProvHits uint64
 }
 
 var _ guest.TaintBridge = (*FAROS)(nil)
@@ -132,10 +170,11 @@ func Attach(k *guest.Kernel, cfg Config) *FAROS {
 		banks:       make(map[uint32]*taint.RegBank),
 		findingSeen: make(map[string]struct{}),
 		execChecked: make(map[uint64]struct{}),
+		ipCache:     make(map[uint64]instrProvEntry),
 	}
 	f.exportTag = f.T.ExportTableTag()
 	k.Bridge = f
-	k.M.OnBeforeInstr(f.beforeInstr)
+	k.M.OnInstrPlugin(f)
 
 	// Tag insertion for the export table: taint the whole region in the
 	// shared physical frames so every process sees it.
@@ -175,6 +214,7 @@ func (f *FAROS) Stats() Stats {
 		Instructions:  f.instrs,
 		LoadsChecked:  f.loadsChecked,
 		ExportReads:   f.exportReads,
+		InstrProvHits: f.instrProvHits,
 		FindingsTotal: len(f.findings),
 	}
 }
@@ -194,30 +234,92 @@ func physAt(s *mem.Space, va uint32) (uint64, bool) {
 	return uint64(frame)<<mem.PageShift | uint64(va%mem.PageSize), true
 }
 
-// memGetRange unions the shadow of [va, va+n) in the current space.
+// pagePA is physAt through the engine's one-entry TLB. Sequential accesses
+// to the same virtual page — the propagation common case — skip the page
+// table entirely; any mapping change bumps the space generation and drops
+// the entry.
+func (f *FAROS) pagePA(s *mem.Space, va uint32) (uint64, bool) {
+	t := &f.tlb
+	if t.ok && t.space == s && t.vpn == va>>mem.PageShift && t.gen == s.Gen() {
+		return t.base | uint64(va%mem.PageSize), true
+	}
+	return f.pagePAFill(s, va)
+}
+
+// pagePAFill is the TLB miss path: walk the page table and refill the
+// entry, including the frame's taint summary.
+func (f *FAROS) pagePAFill(s *mem.Space, va uint32) (uint64, bool) {
+	frame, ok := s.FrameOf(va)
+	if !ok {
+		return 0, false
+	}
+	t := &f.tlb
+	t.space, t.gen, t.vpn, t.ok = s, s.Gen(), va>>mem.PageShift, true
+	t.base = uint64(frame) << mem.PageShift
+	t.live = f.T.LivePtr(uint64(frame))
+	t.allocGen = f.T.PageAllocs()
+	return t.base | uint64(va%mem.PageSize), true
+}
+
+// rangeUntainted reports whether [va, va+n) is known to lie in a single,
+// currently untainted page. It is pure cache consultation — a miss (TLB
+// cold, page straddling, or page tainted) just means the caller takes the
+// ordinary range path; a hit lets loads return 0 and untainted stores
+// become no-ops without touching the shadow at all. The live-counter load
+// stays accurate while taint flows through other pages, so the common
+// untainted/tainted working-set split keeps its fast path.
+func (f *FAROS) rangeUntainted(s *mem.Space, va uint32, n uint32) bool {
+	t := &f.tlb
+	if !(t.ok && t.space == s && t.vpn == va>>mem.PageShift && t.gen == s.Gen() &&
+		va%mem.PageSize <= mem.PageSize-n) {
+		return false
+	}
+	if t.live != nil {
+		return *t.live == 0
+	}
+	return t.allocGen == f.T.PageAllocs()
+}
+
+// memGetRange unions the shadow of [va, va+n) in the current space,
+// translating once per virtual page. The accumulator threads through
+// MemUnionFrom so the union order — and therefore every interned
+// intermediate list — matches the per-byte reference exactly.
 func (f *FAROS) memGetRange(s *mem.Space, va uint32, n int) taint.ProvID {
 	var out taint.ProvID
-	for i := 0; i < n; i++ {
-		if pa, ok := physAt(s, va+uint32(i)); ok {
-			out = f.T.Union(out, f.T.MemGet(pa))
+	for n > 0 {
+		chunk := mem.PageSize - int(va%mem.PageSize)
+		if chunk > n {
+			chunk = n
 		}
+		if pa, ok := f.pagePA(s, va); ok {
+			out = f.T.MemUnionFrom(out, pa, chunk)
+		}
+		va += uint32(chunk)
+		n -= chunk
 	}
 	return out
 }
 
-// memSetRange sets the shadow of [va, va+n) in the given space.
+// memSetRange sets the shadow of [va, va+n) in the given space, translating
+// once per virtual page.
 func (f *FAROS) memSetRange(s *mem.Space, va uint32, n int, id taint.ProvID) {
-	for i := 0; i < n; i++ {
-		if pa, ok := physAt(s, va+uint32(i)); ok {
-			f.T.MemSet(pa, id)
+	for n > 0 {
+		chunk := mem.PageSize - int(va%mem.PageSize)
+		if chunk > n {
+			chunk = n
 		}
+		if pa, ok := f.pagePA(s, va); ok {
+			f.T.MemSetRange(pa, chunk, id)
+		}
+		va += uint32(chunk)
+		n -= chunk
 	}
 }
 
-// beforeInstr mirrors the CPU's dataflow onto the shadow state (Table I)
+// BeforeInstr mirrors the CPU's dataflow onto the shadow state (Table I)
 // and applies the detection policy on loads. It sees the pre-execution
 // register file, from which all effective addresses derive.
-func (f *FAROS) beforeInstr(m *vm.Machine, pc uint32, in isa.Instruction) {
+func (f *FAROS) BeforeInstr(m *vm.Machine, pc uint32, in isa.Instruction) {
 	f.instrs++
 	if f.bank == nil {
 		return // no process context yet
@@ -232,51 +334,75 @@ func (f *FAROS) beforeInstr(m *vm.Machine, pc uint32, in isa.Instruction) {
 	switch in.Op {
 	case isa.OpMov:
 		if in.Mode == isa.ModeRR {
-			bank[in.Dst] = bank[in.Src]
+			bank[in.Dst&7] = bank[in.Src&7]
 		} else {
-			bank[in.Dst] = 0 // immediate: delete (Table I)
+			bank[in.Dst&7] = 0 // immediate: delete (Table I)
 		}
 
 	case isa.OpLd, isa.OpLdb:
-		addr, _ := vm.EffectiveAddr(&m.CPU, in)
+		// Effective address computed inline (the register file is the
+		// pre-execution state, same as vm.EffectiveAddr).
+		addr := m.CPU.Regs[in.Src&7] + in.Imm
+		if in.Mode == isa.ModeRX {
+			addr = m.CPU.Regs[in.Src&7] + m.CPU.Regs[in.Imm&7]
+		}
 		size := 4
 		if in.Op == isa.OpLdb {
 			size = 1
 		}
-		id := f.memGetRange(space, addr, size)
+		// The loaded bytes' provenance is computed once here and flows both
+		// into the destination register and into the policy check below —
+		// checkPolicy no longer recomputes the same range. A load from a
+		// known-untainted page skips the shadow walk entirely.
+		var raw taint.ProvID
+		if !f.rangeUntainted(space, addr, uint32(size)) {
+			raw = f.memGetRange(space, addr, size)
+		}
+		id := raw
 		if f.cfg.PropagateAddrDeps {
 			// Address dependency: the pointer's taint flows into the value
 			// (the overtainting ablation).
-			id = f.T.Union(id, bank[in.Src])
+			id = f.T.Union(id, bank[in.Src&7])
 			if in.Mode == isa.ModeRX {
 				id = f.T.Union(id, bank[in.IndexReg()])
 			}
 		}
-		bank[in.Dst] = id
-		f.checkPolicy(m, pc, in, addr)
+		bank[in.Dst&7] = id
+		f.loadsChecked++
+		if f.T.Has(raw, taint.TagExportTable) {
+			f.checkPolicy(m, pc, in, addr, raw)
+		}
 
 	case isa.OpSt, isa.OpStb:
-		addr, _ := vm.EffectiveAddr(&m.CPU, in)
+		addr := m.CPU.Regs[in.Dst&7] + in.Imm
+		if in.Mode == isa.ModeXR {
+			addr = m.CPU.Regs[in.Dst&7] + m.CPU.Regs[in.Imm&7]
+		}
 		size := 4
 		if in.Op == isa.OpStb {
 			size = 1
 		}
-		id := bank[in.Src]
-		id = f.stampStore(id)
-		f.memSetRange(space, addr, size, id)
+		id := f.stampStore(bank[in.Src&7])
+		// Storing untainted over a known-untainted page is a no-op.
+		if id != 0 || !f.rangeUntainted(space, addr, uint32(size)) {
+			f.memSetRange(space, addr, size, id)
+		}
 
 	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpMul, isa.OpShl, isa.OpShr:
 		if in.Mode == isa.ModeRR {
-			bank[in.Dst] = f.T.Union(bank[in.Dst], bank[in.Src])
+			// Union(0,0) is 0, already in place — skip the call.
+			if a, b := bank[in.Dst&7], bank[in.Src&7]; a|b != 0 {
+				bank[in.Dst&7] = f.T.Union(a, b)
+			}
 		}
 		// Immediate forms leave the destination's taint unchanged.
 
 	case isa.OpXor:
 		if in.Mode == isa.ModeRR {
 			if in.Dst == in.Src {
-				bank[in.Dst] = 0 // XOR r,r: delete (Table I)
-			} else {
-				bank[in.Dst] = f.T.Union(bank[in.Dst], bank[in.Src])
+				bank[in.Dst&7] = 0 // XOR r,r: delete (Table I)
+			} else if a, b := bank[in.Dst&7], bank[in.Src&7]; a|b != 0 {
+				bank[in.Dst&7] = f.T.Union(a, b)
 			}
 		}
 
@@ -288,17 +414,26 @@ func (f *FAROS) beforeInstr(m *vm.Machine, pc uint32, in isa.Instruction) {
 		addr := m.CPU.Regs[isa.ESP] - 4
 		var id taint.ProvID
 		if in.Mode == isa.ModeRR {
-			id = bank[in.Dst]
+			id = bank[in.Dst&7]
 		}
 		id = f.stampStore(id)
-		f.memSetRange(space, addr, 4, id)
+		if id != 0 || !f.rangeUntainted(space, addr, 4) {
+			f.memSetRange(space, addr, 4, id)
+		}
 
 	case isa.OpPop:
-		bank[in.Dst] = f.memGetRange(space, m.CPU.Regs[isa.ESP], 4)
+		sp := m.CPU.Regs[isa.ESP]
+		if f.rangeUntainted(space, sp, 4) {
+			bank[in.Dst&7] = 0
+		} else {
+			bank[in.Dst&7] = f.memGetRange(space, sp, 4)
+		}
 
 	case isa.OpCall:
 		// The pushed return address is a constant.
-		f.memSetRange(space, m.CPU.Regs[isa.ESP]-4, 4, 0)
+		if sp := m.CPU.Regs[isa.ESP] - 4; !f.rangeUntainted(space, sp, 4) {
+			f.memSetRange(space, sp, 4, 0)
+		}
 
 	case isa.OpSyscall:
 		// Kernel return values are untainted; data-carrying results are
@@ -314,7 +449,12 @@ func (f *FAROS) stampStore(id taint.ProvID) taint.ProvID {
 	if id == 0 || f.cfg.NoProcessTags || !f.haveCur {
 		return id
 	}
-	return f.T.Prepend(id, f.curTag)
+	if id == f.stampIn && f.curTag == f.stampTag {
+		return f.stampOut
+	}
+	out := f.T.Prepend(id, f.curTag)
+	f.stampIn, f.stampTag, f.stampOut = id, f.curTag, out
+	return out
 }
 
 // stampProc prepends a process tag unless the ablation disabled them.
@@ -325,8 +465,25 @@ func (f *FAROS) stampProc(id taint.ProvID, tag taint.Tag) taint.ProvID {
 	return f.T.Prepend(id, tag)
 }
 
-// instrProv returns the provenance of the instruction's own bytes.
+// instrProv returns the provenance of the instruction's own bytes. Results
+// are cached per physical address and invalidated wholesale by the store's
+// shadow change count, so the hot loop — the same code executing over
+// unchanged shadow state — pays one map probe instead of a per-byte union.
 func (f *FAROS) instrProv(s *mem.Space, pc uint32) taint.ProvID {
+	if pc%mem.PageSize <= mem.PageSize-isa.InstrSize {
+		if pa, ok := f.pagePA(s, pc); ok {
+			changes := f.T.ChangeCount()
+			if e, hit := f.ipCache[pa]; hit && e.changes == changes {
+				f.instrProvHits++
+				return e.prov
+			}
+			prov := f.T.MemUnionFrom(0, pa, isa.InstrSize)
+			f.ipCache[pa] = instrProvEntry{prov: prov, changes: changes}
+			return prov
+		}
+		return 0
+	}
+	// Page-straddling instruction: rare, not worth caching.
 	return f.memGetRange(s, pc, isa.InstrSize)
 }
 
@@ -343,9 +500,9 @@ func (f *FAROS) strictExecCheck(m *vm.Machine, pc uint32, in isa.Instruction) {
 	if iProv == 0 {
 		return
 	}
-	procs := f.T.DistinctProcesses(iProv)
+	procs := f.T.DistinctProcessCount(iProv)
 	netflow := f.T.Has(iProv, taint.TagNetflow)
-	if !(len(procs) >= 2 || (netflow && len(procs) >= 1)) {
+	if !(procs >= 2 || (netflow && procs >= 1)) {
 		return
 	}
 	cur := f.k.Current()
@@ -371,31 +528,27 @@ func (f *FAROS) strictExecCheck(m *vm.Machine, pc uint32, in isa.Instruction) {
 	})
 }
 
-// checkPolicy applies the tag-confluence invariants to a load.
-func (f *FAROS) checkPolicy(m *vm.Machine, pc uint32, in isa.Instruction, addr uint32) {
-	f.loadsChecked++
-	space := m.Space()
-	size := 4
-	if in.Op == isa.OpLdb {
-		size = 1
-	}
-	targetProv := f.memGetRange(space, addr, size)
-	if !f.T.Has(targetProv, taint.TagExportTable) {
-		return
-	}
+// checkPolicy applies the tag-confluence invariants to an export-table
+// read. targetProv is the raw provenance of the loaded bytes, computed once
+// by beforeInstr — crucially before any address-dependency union, so the
+// policy sees exactly what the memory carried. The caller has already
+// established that targetProv carries the export-table tag (the O(1)
+// summary-bit test), so this function only runs on actual export reads.
+func (f *FAROS) checkPolicy(m *vm.Machine, pc uint32, in isa.Instruction, addr uint32, targetProv taint.ProvID) {
 	f.exportReads++
 
+	space := m.Space()
 	iProv := f.instrProv(space, pc)
 	if iProv == 0 {
 		return
 	}
-	procs := f.T.DistinctProcesses(iProv)
+	procs := f.T.DistinctProcessCount(iProv)
 
 	rule := ""
 	switch {
-	case !f.cfg.DisableNetflowRule && f.T.Has(iProv, taint.TagNetflow) && len(procs) >= 1:
+	case !f.cfg.DisableNetflowRule && f.T.Has(iProv, taint.TagNetflow) && procs >= 1:
 		rule = RuleNetflowExport
-	case !f.cfg.DisableForeignCodeRule && len(procs) >= 2:
+	case !f.cfg.DisableForeignCodeRule && procs >= 2:
 		rule = RuleForeignCodeExport
 	default:
 		return

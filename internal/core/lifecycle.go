@@ -38,6 +38,9 @@ func (f *FAROS) WatchRange(p *guest.Process, va uint32, n int, limit int) {
 		limit = 4096
 	}
 	if f.trace == nil {
+		// The watch hook is installed lazily so untraced runs never pay an
+		// indirect call per shadow mutation; cache invalidation rides the
+		// store's change counter instead.
 		f.trace = &lifecycleTrace{watched: make(map[uint64]struct{}), limit: limit}
 		f.T.SetWatch(f.onShadowChange)
 	}

@@ -417,7 +417,7 @@ func Evasion() (string, error) {
 // Experiment names, in run order.
 var order = []string{
 	"detect", "table2", "fig7", "fig8", "fig9", "fig10",
-	"table3", "table4", "table5", "cuckoo", "indirect",
+	"table3", "table4", "table5", "perf", "cuckoo", "indirect",
 	"ablate-addr", "ablate-proctag", "ablate-cap", "evasion", "chaos",
 }
 
@@ -443,6 +443,8 @@ func Run(name string) (string, error) {
 		return TableIII()
 	case "table4":
 		return TableIV()
+	case "perf":
+		return Perf()
 	case "table5":
 		return TableV()
 	case "cuckoo":

@@ -939,8 +939,17 @@ func (k *Kernel) injectGuestFault(p *Process) {
 // the scheduler moves on, mirroring how a real OS converts a CPU fault
 // into process termination rather than a machine halt.
 func (k *Kernel) runQuantum(p *Process, maxInstr uint64) {
+	// Only Step advances InstrCount (by exactly one per retired
+	// instruction), so the instruction budget folds into the step count —
+	// one loop counter instead of re-reading the clock every iteration.
 	steps := k.Quantum
-	for steps > 0 && k.M.InstrCount < maxInstr {
+	if k.M.InstrCount >= maxInstr {
+		return
+	}
+	if rem := maxInstr - k.M.InstrCount; rem < steps {
+		steps = rem
+	}
+	for ; steps > 0; steps-- {
 		trap, err := k.M.Step()
 		if err != nil {
 			k.saveContext(p)
@@ -959,7 +968,6 @@ func (k *Kernel) runQuantum(p *Process, maxInstr uint64) {
 			k.killProcess(p, err.Error())
 			return
 		}
-		steps--
 		switch trap {
 		case vm.TrapSyscall:
 			k.saveContext(p)

@@ -50,6 +50,24 @@ type counters struct {
 	instructions uint64
 	findings     map[string]uint64
 	lat          *histogram
+	taint        TaintStats
+}
+
+// TaintStats aggregates the taint engine's fast-path counters across
+// completed FAROS jobs: how often propagation was answered from the memo
+// tables, how much shadow traffic the page summaries skipped, and how much
+// taint the runs left behind. Memo hit rates near 1 and large skip counts
+// are the signature of the optimized hot path doing its job.
+type TaintStats struct {
+	Prepends        uint64 `json:"prepends"`
+	PrependMemoHits uint64 `json:"prepend_memo_hits"`
+	Unions          uint64 `json:"unions"`
+	UnionMemoHits   uint64 `json:"union_memo_hits"`
+	ShadowWrites    uint64 `json:"shadow_writes"`
+	RangeFastSkips  uint64 `json:"range_fast_skips"`
+	InstrProvHits   uint64 `json:"instr_prov_hits"`
+	TaintedBytes    uint64 `json:"tainted_bytes"`
+	TaintedPages    uint64 `json:"tainted_pages"`
 }
 
 type metrics struct {
@@ -103,6 +121,7 @@ type Stats struct {
 
 	Instructions   uint64            `json:"instructions"`
 	FindingsByRule map[string]uint64 `json:"findings_by_rule,omitempty"`
+	Taint          TaintStats        `json:"taint"`
 
 	LatencyCount   uint64          `json:"latency_count"`
 	LatencySum     time.Duration   `json:"latency_sum_ns"`
@@ -127,6 +146,7 @@ func (m *metrics) snapshot(g snapshotGauges) Stats {
 		CacheMisses:    m.c.cacheMisses,
 		Instructions:   m.c.instructions,
 		FindingsByRule: make(map[string]uint64, len(m.c.findings)),
+		Taint:          m.c.taint,
 		LatencyCount:   m.c.lat.n,
 		LatencySum:     time.Duration(m.c.lat.sum * float64(time.Second)),
 	}
@@ -141,6 +161,14 @@ func (m *metrics) snapshot(g snapshotGauges) Stats {
 	cum += m.c.lat.counts[len(latencyBuckets)]
 	s.LatencyBuckets = append(s.LatencyBuckets, LatencyBucket{LE: math.Inf(1), Count: cum})
 	return s
+}
+
+// rate is hits/total, 0 when total is zero.
+func rate(hits, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
 }
 
 // CacheHitRate is hits / (hits + misses), 0 when no cacheable submissions
@@ -163,6 +191,12 @@ func (s Stats) String() string {
 	fmt.Fprintf(&sb, "cache: %d hits, %d misses (%.0f%% hit rate)\n",
 		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate())
 	fmt.Fprintf(&sb, "guest: %d instructions executed\n", s.Instructions)
+	if t := s.Taint; t.Prepends+t.Unions+t.ShadowWrites > 0 {
+		fmt.Fprintf(&sb, "taint: %d prepends (%.0f%% memoized), %d unions (%.0f%% memoized), %d shadow writes, %d page skips, %d instr-prov hits\n",
+			t.Prepends, 100*rate(t.PrependMemoHits, t.Prepends),
+			t.Unions, 100*rate(t.UnionMemoHits, t.Unions),
+			t.ShadowWrites, t.RangeFastSkips, t.InstrProvHits)
+	}
 	if len(s.FindingsByRule) > 0 {
 		rules := make([]string, 0, len(s.FindingsByRule))
 		for rule := range s.FindingsByRule {
@@ -206,6 +240,15 @@ func (s Stats) Prometheus() string {
 	counter("faros_cache_hits_total", "Submissions served from the result cache.", s.CacheHits)
 	counter("faros_cache_misses_total", "Cacheable submissions that missed the cache.", s.CacheMisses)
 	counter("faros_guest_instructions_total", "Guest instructions executed by completed jobs.", s.Instructions)
+	counter("faros_taint_prepends_total", "Provenance list prepends across completed FAROS jobs.", s.Taint.Prepends)
+	counter("faros_taint_prepend_memo_hits_total", "Prepends answered from the memo table.", s.Taint.PrependMemoHits)
+	counter("faros_taint_unions_total", "Provenance list unions across completed FAROS jobs.", s.Taint.Unions)
+	counter("faros_taint_union_memo_hits_total", "Unions answered from the memo table.", s.Taint.UnionMemoHits)
+	counter("faros_taint_shadow_writes_total", "Shadow byte writes across completed FAROS jobs.", s.Taint.ShadowWrites)
+	counter("faros_taint_fastpath_skips_total", "Whole-page skips taken by the shadow range fast paths.", s.Taint.RangeFastSkips)
+	counter("faros_taint_instr_prov_hits_total", "Instruction-provenance cache hits across completed FAROS jobs.", s.Taint.InstrProvHits)
+	counter("faros_taint_tainted_bytes_total", "Shadow bytes still tainted at the end of completed jobs.", s.Taint.TaintedBytes)
+	counter("faros_taint_tainted_pages_total", "Shadow pages still tainted at the end of completed jobs.", s.Taint.TaintedPages)
 
 	fmt.Fprintf(&sb, "# HELP faros_findings_total Findings reported by completed jobs, by rule.\n# TYPE faros_findings_total counter\n")
 	rules := make([]string, 0, len(s.FindingsByRule))

@@ -380,6 +380,18 @@ func (p *Pool) finishLocked(job *Job, res *scenario.Result, err error) {
 			for _, f := range job.result.Findings {
 				m.findings[f.Rule]++
 			}
+			if res != nil && res.Faros != nil {
+				ts := res.Faros.Stats()
+				m.taint.Prepends += ts.Taint.Prepends
+				m.taint.PrependMemoHits += ts.Taint.PrependMemoHits
+				m.taint.Unions += ts.Taint.Unions
+				m.taint.UnionMemoHits += ts.Taint.UnionMemoHits
+				m.taint.ShadowWrites += ts.Taint.ShadowWrites
+				m.taint.RangeFastSkips += ts.Taint.RangeFastSkips
+				m.taint.InstrProvHits += ts.InstrProvHits
+				m.taint.TaintedBytes += uint64(ts.Taint.TaintedBytes)
+				m.taint.TaintedPages += uint64(ts.Taint.TaintedPages)
+			}
 			m.lat.observe(wall.Seconds())
 		})
 		if job.Hash != "" && p.cfg.CacheCap >= 0 {

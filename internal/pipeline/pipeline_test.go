@@ -314,3 +314,47 @@ func TestCacheEviction(t *testing.T) {
 		t.Error("oldest entry survived eviction")
 	}
 }
+
+// TestTaintStatsAggregation: completing a real FAROS job folds the taint
+// engine's fast-path counters into the pool metrics and both renderings.
+func TestTaintStatsAggregation(t *testing.T) {
+	p := New(Config{Workers: 1})
+	defer p.Close()
+
+	job, err := p.Submit(Request{Spec: samples.ReflectiveDLLInject(), Mode: ModeLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, p, job, StateDone)
+
+	st := p.Stats()
+	ts := st.Taint
+	if ts.Prepends == 0 || ts.ShadowWrites == 0 {
+		t.Fatalf("taint counters not aggregated: %+v", ts)
+	}
+	if ts.PrependMemoHits > ts.Prepends || ts.UnionMemoHits > ts.Unions {
+		t.Fatalf("memo hits exceed operations: %+v", ts)
+	}
+	if ts.TaintedPages == 0 {
+		t.Fatalf("injection run should leave tainted pages: %+v", ts)
+	}
+	if !strings.Contains(st.String(), "taint:") {
+		t.Errorf("String() missing taint line:\n%s", st.String())
+	}
+	prom := st.Prometheus()
+	for _, metric := range []string{
+		"faros_taint_prepends_total",
+		"faros_taint_prepend_memo_hits_total",
+		"faros_taint_unions_total",
+		"faros_taint_union_memo_hits_total",
+		"faros_taint_shadow_writes_total",
+		"faros_taint_fastpath_skips_total",
+		"faros_taint_instr_prov_hits_total",
+		"faros_taint_tainted_bytes_total",
+		"faros_taint_tainted_pages_total",
+	} {
+		if !strings.Contains(prom, metric) {
+			t.Errorf("Prometheus() missing %s", metric)
+		}
+	}
+}

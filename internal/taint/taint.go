@@ -96,26 +96,52 @@ type ProvID uint32
 // Stats counts taint activity for the performance evaluation and the
 // overtainting ablation.
 type Stats struct {
-	ListsInterned  int
-	Prepends       uint64
-	Unions         uint64
-	ShadowWrites   uint64
-	TaintedBytes   int // live count of non-empty shadow bytes
-	TagsExhausted  uint64
-	ListsTruncated uint64
+	ListsInterned   int
+	Prepends        uint64
+	PrependMemoHits uint64
+	Unions          uint64
+	UnionMemoHits   uint64
+	ShadowWrites    uint64
+	RangeFastSkips  uint64 // whole-page skips taken by the range fast paths
+	TaintedBytes    int    // live count of non-empty shadow bytes
+	TaintedPages    int    // live count of shadow pages holding any taint
+	TagsExhausted   uint64
+	ListsTruncated  uint64
 }
 
 const shadowPageSize = 4096
 
-type shadowPage [shadowPageSize]ProvID
+// shadowPage is one frame's worth of per-byte provenance plus a live-taint
+// counter. live == 0 lets every range operation treat the page as untainted
+// with a single comparison instead of shadowPageSize map probes.
+type shadowPage struct {
+	ids  [shadowPageSize]ProvID
+	live int32
+}
+
+// maxDenseFrame bounds the frame-indexed shadow slice (4 GiB of physical
+// memory). Frames beyond it — only reachable from synthetic test addresses —
+// spill into a map.
+const maxDenseFrame = 1 << 20
+
+// listSummary holds the per-list policy bits computed once at intern time,
+// making Has and DistinctProcessCount O(1) on the policy hot path.
+type listSummary struct {
+	typeMask  uint8  // bit (Type-1) set when the list holds a tag of Type
+	procCount uint16 // number of distinct process tag indices
+}
 
 // Store owns all taint state: interned lists, tag hash maps, and the shadow
 // memory over physical frames. It is not safe for concurrent use (the VM is
 // single-threaded and deterministic).
 type Store struct {
-	lists  [][]Tag // ProvID → tags, newest first; lists[0] is nil
-	intern map[string]ProvID
-	unions map[uint64]ProvID // memo for Union(a,b)
+	lists     [][]Tag       // ProvID → tags, newest first; lists[0] is nil
+	summaries []listSummary // parallel to lists; summaries[0] is zero
+	intern    map[string]ProvID
+	keyBuf    []byte            // scratch for intern-key construction
+	unions    map[uint64]ProvID // memo for Union(a,b)
+	prepends  map[uint64]ProvID // memo for Prepend(id,t)
+	scratch   []Tag             // reusable union work list
 
 	netflows   []NetflowTag
 	netflowIdx map[NetflowTag]uint16
@@ -124,12 +150,18 @@ type Store struct {
 	procs      []ProcessTag
 	procIdx    map[uint32]uint16 // by CR3
 
-	shadow  map[uint32]*shadowPage // physical frame → shadow page
-	listCap int
-	stats   Stats
+	shadow   []*shadowPage          // physical frame → shadow page (dense)
+	shadowHi map[uint64]*shadowPage // frames ≥ maxDenseFrame
+	// pageAllocs counts shadow-page allocations; see PageAllocs.
+	pageAllocs uint32
+	// changes counts every shadow byte mutation; see ChangeCount.
+	changes uint64
+	listCap  int
+	stats    Stats
 
 	// watch, when set, observes every shadow byte change (the lifecycle
-	// tracing hook). It fires only on actual changes.
+	// tracing hook and the engine's provenance-cache invalidation). It
+	// fires only on actual changes and must not mutate the store.
 	watch func(pa uint64, old, new ProvID)
 }
 
@@ -149,12 +181,13 @@ func NewStore(listCap int) *Store {
 	}
 	return &Store{
 		lists:      make([][]Tag, 1), // ProvID 0 = empty
+		summaries:  make([]listSummary, 1),
 		intern:     make(map[string]ProvID),
 		unions:     make(map[uint64]ProvID),
+		prepends:   make(map[uint64]ProvID),
 		netflowIdx: make(map[NetflowTag]uint16),
 		fileIdx:    make(map[FileTag]uint16),
 		procIdx:    make(map[uint32]uint16),
-		shadow:     make(map[uint32]*shadowPage),
 		listCap:    listCap,
 	}
 }
@@ -248,33 +281,56 @@ func (s *Store) Process(idx uint16) (ProcessTag, bool) {
 
 // --- provenance lists ---
 
-// key builds the interning key from the 3-byte encodings.
-func listKey(tags []Tag) string {
-	var sb strings.Builder
-	sb.Grow(len(tags) * 3)
-	for _, t := range tags {
-		e := t.Encode()
-		sb.Write(e[:])
-	}
-	return sb.String()
-}
-
 // internList returns the ProvID for tags, interning a copy if new. tags is
-// newest-first and must already respect the cap.
+// newest-first and must already respect the cap. The interning key is the
+// concatenated 3-byte tag encodings, built in a reusable buffer so the
+// common hit case allocates nothing.
 func (s *Store) internList(tags []Tag) ProvID {
 	if len(tags) == 0 {
 		return 0
 	}
-	k := listKey(tags)
-	if id, ok := s.intern[k]; ok {
+	buf := s.keyBuf[:0]
+	for _, t := range tags {
+		buf = append(buf, byte(t.Type), byte(t.Index), byte(t.Index>>8))
+	}
+	s.keyBuf = buf
+	if id, ok := s.intern[string(buf)]; ok { // no-alloc map lookup
 		return id
 	}
 	cp := make([]Tag, len(tags))
 	copy(cp, tags)
 	id := ProvID(len(s.lists))
 	s.lists = append(s.lists, cp)
-	s.intern[k] = id
+	s.summaries = append(s.summaries, summarize(cp))
+	s.intern[string(buf)] = id
 	return id
+}
+
+// summarize computes the O(1) policy bits for a list: which tag types it
+// holds and how many distinct processes touched it. Lists are capped, so
+// the quadratic distinct-count scan is over a handful of entries and runs
+// once per unique list ever interned.
+func summarize(tags []Tag) listSummary {
+	var sum listSummary
+	for i, t := range tags {
+		if t.Type >= 1 && t.Type <= 8 {
+			sum.typeMask |= 1 << (t.Type - 1)
+		}
+		if t.Type != TagProcess {
+			continue
+		}
+		dup := false
+		for _, prev := range tags[:i] {
+			if prev.Type == TagProcess && prev.Index == t.Index {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			sum.procCount++
+		}
+	}
+	return sum
 }
 
 // capTags enforces the list cap, preserving the newest cap-1 tags and the
@@ -306,17 +362,27 @@ func (s *Store) Single(t Tag) ProvID {
 
 // Prepend adds t at the head of list id (most recent activity). It is a
 // no-op when t is already the head, which keeps tight loops from growing
-// lists unboundedly.
+// lists unboundedly. Results are memoized on (id, t): propagation loops
+// stamping the same process tag onto the same list pay one map probe.
 func (s *Store) Prepend(id ProvID, t Tag) ProvID {
 	s.stats.Prepends++
-	cur := s.Tags(id)
-	if len(cur) > 0 && cur[0] == t {
-		return id
+	memo := uint64(id)<<24 | uint64(t.Type)<<16 | uint64(t.Index)
+	if out, ok := s.prepends[memo]; ok {
+		s.stats.PrependMemoHits++
+		return out
 	}
-	tags := make([]Tag, 0, len(cur)+1)
-	tags = append(tags, t)
-	tags = append(tags, cur...)
-	return s.internList(s.capTags(tags))
+	cur := s.Tags(id)
+	var out ProvID
+	if len(cur) > 0 && cur[0] == t {
+		out = id
+	} else {
+		tags := make([]Tag, 0, len(cur)+1)
+		tags = append(tags, t)
+		tags = append(tags, cur...)
+		out = s.internList(s.capTags(tags))
+	}
+	s.prepends[memo] = out
+	return out
 }
 
 // Union merges two lists (the computation-dependency rule of Table I):
@@ -332,36 +398,56 @@ func (s *Store) Union(a, b ProvID) ProvID {
 	s.stats.Unions++
 	memo := uint64(a)<<32 | uint64(b)
 	if id, ok := s.unions[memo]; ok {
+		s.stats.UnionMemoHits++
 		return id
 	}
 	ta, tb := s.Tags(a), s.Tags(b)
-	seen := make(map[Tag]struct{}, len(ta)+len(tb))
-	out := make([]Tag, 0, len(ta)+len(tb))
+	// Dedup via linear containment over the reusable scratch list: lists
+	// are capped to a handful of tags, so the scan beats a throwaway map.
+	out := s.scratch[:0]
 	for _, t := range ta {
-		if _, dup := seen[t]; !dup {
-			seen[t] = struct{}{}
+		if !containsTag(out, t) {
 			out = append(out, t)
 		}
 	}
 	for _, t := range tb {
-		if _, dup := seen[t]; !dup {
-			seen[t] = struct{}{}
+		if !containsTag(out, t) {
 			out = append(out, t)
 		}
 	}
+	s.scratch = out
 	id := s.internList(s.capTags(out))
 	s.unions[memo] = id
 	return id
 }
 
-// Has reports whether list id contains a tag of type tt.
-func (s *Store) Has(id ProvID, tt TagType) bool {
-	for _, t := range s.Tags(id) {
-		if t.Type == tt {
+// containsTag reports whether tags holds t.
+func containsTag(tags []Tag, t Tag) bool {
+	for _, have := range tags {
+		if have == t {
 			return true
 		}
 	}
 	return false
+}
+
+// Has reports whether list id contains a tag of type tt. It reads the
+// summary bits computed at intern time: one load, no list walk.
+func (s *Store) Has(id ProvID, tt TagType) bool {
+	if id == 0 || int(id) >= len(s.summaries) || tt < 1 || tt > 8 {
+		return false
+	}
+	return s.summaries[id].typeMask&(1<<(tt-1)) != 0
+}
+
+// DistinctProcessCount returns the number of distinct process tags in list
+// id, precomputed at intern time — the policy's two-process confluence test
+// without walking the list.
+func (s *Store) DistinctProcessCount(id ProvID) int {
+	if id == 0 || int(id) >= len(s.summaries) {
+		return 0
+	}
+	return int(s.summaries[id].procCount)
 }
 
 // FirstOfType returns the newest tag of type tt in list id.
@@ -398,68 +484,238 @@ func (s *Store) DistinctProcesses(id ProvID) []uint16 {
 
 // --- shadow memory (keyed by physical address) ---
 
+// page returns the shadow page for a frame, or nil when none exists.
+func (s *Store) page(frame uint64) *shadowPage {
+	if frame < maxDenseFrame {
+		if frame < uint64(len(s.shadow)) {
+			return s.shadow[frame]
+		}
+		return nil
+	}
+	return s.shadowHi[frame]
+}
+
+// FrameUntainted reports whether no byte of the given physical frame
+// carries taint. It is the engine-facing page summary: callers that learn a
+// frame is untainted can skip shadow reads (and untainted shadow writes)
+// for the whole page until the shadow state changes.
+func (s *Store) FrameUntainted(frame uint64) bool {
+	p := s.page(frame)
+	return p == nil || p.live == 0
+}
+
+// LivePtr returns a pointer to the frame's live-taint counter, or nil when
+// the frame has no shadow page yet. The pointer stays valid for the page's
+// lifetime (pages are never freed or moved), so an engine can cache it and
+// answer "is this page untainted" with a single load — no epochs, no
+// revalidation. A nil result is only stable until the next page allocation;
+// gate cached nils on PageAllocs.
+func (s *Store) LivePtr(frame uint64) *int32 {
+	p := s.page(frame)
+	if p == nil {
+		return nil
+	}
+	return &p.live
+}
+
+// PageAllocs counts shadow-page allocations ever made. Callers caching a
+// nil LivePtr use it as the invalidation signal: unchanged count means no
+// new shadow page can have appeared under them.
+func (s *Store) PageAllocs() uint32 { return s.pageAllocs }
+
+// ensurePage returns the shadow page for a frame, allocating it on first
+// taint.
+func (s *Store) ensurePage(frame uint64) *shadowPage {
+	if page := s.page(frame); page != nil {
+		return page
+	}
+	page := new(shadowPage)
+	s.pageAllocs++
+	if frame < maxDenseFrame {
+		for uint64(len(s.shadow)) <= frame {
+			s.shadow = append(s.shadow, nil)
+		}
+		s.shadow[frame] = page
+	} else {
+		if s.shadowHi == nil {
+			s.shadowHi = make(map[uint64]*shadowPage)
+		}
+		s.shadowHi[frame] = page
+	}
+	return page
+}
+
+// setInPage writes one shadow byte through a resolved page, maintaining the
+// live counters and firing the watch. It is the single byte-store of every
+// shadow mutation path, so the bookkeeping cannot drift between them.
+func (s *Store) setInPage(page *shadowPage, pa uint64, id ProvID) {
+	s.stats.ShadowWrites++
+	off := pa % shadowPageSize
+	old := page.ids[off]
+	if old == id {
+		return
+	}
+	if old == 0 {
+		s.stats.TaintedBytes++
+		if page.live == 0 {
+			s.stats.TaintedPages++
+		}
+		page.live++
+	} else if id == 0 {
+		s.stats.TaintedBytes--
+		page.live--
+		if page.live == 0 {
+			s.stats.TaintedPages--
+		}
+	}
+	page.ids[off] = id
+	s.changes++
+	if s.watch != nil {
+		s.watch(pa, old, id)
+	}
+}
+
+// ChangeCount counts shadow byte mutations ever made. Engines caching
+// derived provenance (e.g. the provenance of an instruction's bytes) use it
+// as the invalidation signal: an unchanged count means no shadow byte moved
+// under the cached value. Unlike the watch hook it costs nothing to
+// maintain beyond the increment.
+func (s *Store) ChangeCount() uint64 { return s.changes }
+
 // MemGet returns the provenance of the byte at physical address pa.
 func (s *Store) MemGet(pa uint64) ProvID {
-	page, ok := s.shadow[uint32(pa/shadowPageSize)]
-	if !ok {
+	page := s.page(pa / shadowPageSize)
+	if page == nil || page.live == 0 {
 		return 0
 	}
-	return page[pa%shadowPageSize]
+	return page.ids[pa%shadowPageSize]
 }
 
 // SetWatch installs (or clears, with nil) the shadow-change observer.
 func (s *Store) SetWatch(fn func(pa uint64, old, new ProvID)) { s.watch = fn }
 
-// MemSet sets the provenance of the byte at pa.
+// Watch returns the installed shadow-change observer, letting an owner
+// chain a new observer onto an existing one.
+func (s *Store) Watch() func(pa uint64, old, new ProvID) { return s.watch }
+
+// MemSet sets the provenance of the byte at pa. The untainted write to an
+// unallocated page is a no-op and deliberately not counted as shadow work.
 func (s *Store) MemSet(pa uint64, id ProvID) {
-	s.stats.ShadowWrites++
-	frame := uint32(pa / shadowPageSize)
-	page, ok := s.shadow[frame]
-	if !ok {
+	frame := pa / shadowPageSize
+	page := s.page(frame)
+	if page == nil {
 		if id == 0 {
 			return
 		}
-		page = new(shadowPage)
-		s.shadow[frame] = page
+		page = s.ensurePage(frame)
 	}
-	old := page[pa%shadowPageSize]
-	if old == 0 && id != 0 {
-		s.stats.TaintedBytes++
-	} else if old != 0 && id == 0 {
-		s.stats.TaintedBytes--
-	}
-	page[pa%shadowPageSize] = id
-	if s.watch != nil && old != id {
-		s.watch(pa, old, id)
-	}
+	s.setInPage(page, pa, id)
 }
 
-// MemSetRange sets n consecutive physical bytes to id.
+// MemSetRange sets n consecutive physical bytes to id, resolving each
+// shadow page once. Clearing a page that holds no taint is skipped whole.
 func (s *Store) MemSetRange(pa uint64, n int, id ProvID) {
-	for i := 0; i < n; i++ {
-		s.MemSet(pa+uint64(i), id)
+	for n > 0 {
+		chunk := shadowPageSize - int(pa%shadowPageSize)
+		if chunk > n {
+			chunk = n
+		}
+		frame := pa / shadowPageSize
+		page := s.page(frame)
+		if id == 0 && (page == nil || page.live == 0) {
+			s.stats.RangeFastSkips++
+		} else {
+			if page == nil {
+				page = s.ensurePage(frame)
+			}
+			for i := 0; i < chunk; i++ {
+				s.setInPage(page, pa+uint64(i), id)
+			}
+		}
+		pa += uint64(chunk)
+		n -= chunk
 	}
 }
 
 // MemUnion returns the union of the provenance of n consecutive bytes.
 func (s *Store) MemUnion(pa uint64, n int) ProvID {
-	var out ProvID
-	for i := 0; i < n; i++ {
-		out = s.Union(out, s.MemGet(pa+uint64(i)))
+	return s.MemUnionFrom(0, pa, n)
+}
+
+// MemUnionFrom folds the provenance of n consecutive bytes into acc, left
+// to right — the accumulator form lets callers chain page-sized chunks with
+// exactly the per-byte union order, so the interned intermediate lists are
+// identical to the byte-at-a-time reference. Untainted pages cost one
+// comparison.
+func (s *Store) MemUnionFrom(acc ProvID, pa uint64, n int) ProvID {
+	for n > 0 {
+		chunk := shadowPageSize - int(pa%shadowPageSize)
+		if chunk > n {
+			chunk = n
+		}
+		page := s.page(pa / shadowPageSize)
+		if page == nil || page.live == 0 {
+			s.stats.RangeFastSkips++
+		} else {
+			off := pa % shadowPageSize
+			for i := 0; i < chunk; i++ {
+				if id := page.ids[off+uint64(i)]; id != 0 {
+					acc = s.Union(acc, id)
+				}
+			}
+		}
+		pa += uint64(chunk)
+		n -= chunk
 	}
-	return out
+	return acc
 }
 
 // MemCopy copies n bytes of shadow state from src to dst (the kernel-copy
-// propagation path).
+// propagation path), byte order strictly forward as the per-byte reference,
+// resolving the source and destination pages once per overlapping chunk.
 func (s *Store) MemCopy(dst, src uint64, n int) {
-	for i := 0; i < n; i++ {
-		s.MemSet(dst+uint64(i), s.MemGet(src+uint64(i)))
+	for n > 0 {
+		chunk := shadowPageSize - int(src%shadowPageSize)
+		if c := shadowPageSize - int(dst%shadowPageSize); c < chunk {
+			chunk = c
+		}
+		if chunk > n {
+			chunk = n
+		}
+		srcPage := s.page(src / shadowPageSize)
+		if srcPage != nil && srcPage.live == 0 {
+			srcPage = nil // wholly untainted: copy zeros
+		}
+		dstFrame := dst / shadowPageSize
+		dstPage := s.page(dstFrame)
+		if srcPage == nil && (dstPage == nil || dstPage.live == 0) {
+			s.stats.RangeFastSkips++ // zeros onto an untainted page
+		} else {
+			for i := 0; i < chunk; i++ {
+				var id ProvID
+				if srcPage != nil {
+					id = srcPage.ids[(src+uint64(i))%shadowPageSize]
+				}
+				if dstPage == nil {
+					if id == 0 {
+						continue // untainted write to unallocated page
+					}
+					dstPage = s.ensurePage(dstFrame)
+				}
+				s.setInPage(dstPage, dst+uint64(i), id)
+			}
+		}
+		src += uint64(chunk)
+		dst += uint64(chunk)
+		n -= chunk
 	}
 }
 
 // TaintedBytes returns the number of physical bytes carrying taint.
 func (s *Store) TaintedBytes() int { return s.stats.TaintedBytes }
+
+// TaintedPages returns the number of shadow pages carrying any taint.
+func (s *Store) TaintedPages() int { return s.stats.TaintedPages }
 
 // --- rendering (Table II style) ---
 

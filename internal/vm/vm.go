@@ -65,6 +65,14 @@ func (t Trap) String() string {
 // engine mirrors to compute effective addresses.
 type InstrHook func(m *Machine, pc uint32, in isa.Instruction)
 
+// InstrPlugin is the method form of a before-instruction hook. An analysis
+// engine that implements it and registers via OnInstrPlugin is dispatched
+// as a single interface call per instruction — no method-value thunk —
+// which is measurably cheaper at one call per executed instruction.
+type InstrPlugin interface {
+	BeforeInstr(m *Machine, pc uint32, in isa.Instruction)
+}
+
 // MemHook observes a data memory access. pa is the translated physical
 // address of the first byte; size is 1 or 4.
 type MemHook func(m *Machine, pc uint32, in isa.Instruction, va uint32, pa mem.PhysAddr, size int)
@@ -80,50 +88,73 @@ type Machine struct {
 	phys  *mem.Phys
 	space *mem.Space
 
-	// icache caches decoded instructions per physical frame. Guest stores
+	// icache caches decoded instructions per physical frame, indexed by
+	// frame number (frames are allocated densely from zero). Guest stores
 	// and kernel copies invalidate the written frames, so self-modifying
-	// payloads and JIT code caches decode fresh.
-	icache map[uint32]*icachePage
+	// payloads and JIT code caches decode fresh. A slice keeps the
+	// per-store invalidation at an indexed nil assignment instead of a map
+	// delete.
+	icache []*icachePage
 
 	// fetchTLB is a one-entry software TLB for sequential instruction
 	// fetch: it remembers the current code page's icache entry and is
 	// dropped on context switch, mapping change (space generation), or
-	// icache invalidation.
+	// icache invalidation. vpn doubles as the valid bit (invalidVPN =
+	// invalid); the entry always belongs to the current space because
+	// SetSpace invalidates it, so the per-fetch check is just vpn + gen.
 	fetchTLB struct {
-		space *mem.Space
 		gen   uint64
 		vpn   uint32
 		frame uint32
 		page  *icachePage
-		ok    bool
 	}
 
 	// dtlb caches the last read and write data translations (indices 0/1).
-	dtlb [2]struct {
-		space *mem.Space
-		gen   uint64
-		vpn   uint32
-		frame uint32
-		ok    bool
-	}
+	dtlb [2]dataTLBEntry
 
 	beforeInstr []InstrHook
-	afterInstr  []InstrHook
-	memRead     []MemHook
-	memWrite    []MemHook
+	// plugin is the interface-dispatched before-instruction observer (see
+	// InstrPlugin). It fires before the beforeInstr hooks.
+	plugin     InstrPlugin
+	afterInstr []InstrHook
+	memRead    []MemHook
+	memWrite   []MemHook
 }
 
-// dataPA translates a data access through the data TLB. slot 0 caches
-// reads, slot 1 writes.
+// dataTLBEntry is one cached data translation.
+type dataTLBEntry struct {
+	space *mem.Space
+	gen   uint64
+	vpn   uint32
+	frame uint32
+	ok    bool
+}
+
+// lookupPA is the data-TLB hit test, call-free so it inlines into the
+// read/write helpers; on a miss the caller refills through dataPAFill.
+// slot 0 caches reads, slot 1 writes.
+func (m *Machine) lookupPA(va uint32, slot int) (mem.PhysAddr, bool) {
+	t := &m.dtlb[slot]
+	if t.ok && t.space == m.space && t.vpn == va>>mem.PageShift && t.gen == m.space.Gen() {
+		return mem.PhysAddr(t.frame)<<mem.PageShift | mem.PhysAddr(va%mem.PageSize), true
+	}
+	return 0, false
+}
+
+// dataPA translates a data access through the data TLB.
 func (m *Machine) dataPA(va uint32, kind mem.AccessKind) (mem.PhysAddr, error) {
 	slot := 0
 	if kind == mem.AccessWrite {
 		slot = 1
 	}
-	t := &m.dtlb[slot]
-	if t.ok && t.space == m.space && t.vpn == va>>mem.PageShift && t.gen == m.space.Gen() {
-		return mem.PhysAddr(t.frame)<<mem.PageShift | mem.PhysAddr(va%mem.PageSize), nil
+	if pa, ok := m.lookupPA(va, slot); ok {
+		return pa, nil
 	}
+	return m.dataPAFill(va, kind, &m.dtlb[slot])
+}
+
+// dataPAFill is the data-TLB miss path: translate and refill the entry.
+func (m *Machine) dataPAFill(va uint32, kind mem.AccessKind, t *dataTLBEntry) (mem.PhysAddr, error) {
 	pa, err := m.space.Translate(va, kind)
 	if err != nil {
 		return 0, err
@@ -139,6 +170,10 @@ func (m *Machine) dataPA(va uint32, kind mem.AccessKind) (mem.PhysAddr, error) {
 // icacheSlots is the number of 8-byte instruction slots per frame.
 const icacheSlots = mem.PageSize / isa.InstrSize
 
+// invalidVPN marks the fetch TLB empty; no 32-bit address has this page
+// number.
+const invalidVPN = ^uint32(0)
+
 // icachePage holds decoded instructions for one physical frame. state 0 is
 // unknown, 1 decoded, 2 undecodable.
 type icachePage struct {
@@ -148,16 +183,21 @@ type icachePage struct {
 
 // New creates a machine over the given physical memory.
 func New(phys *mem.Phys) *Machine {
-	return &Machine{phys: phys, icache: make(map[uint32]*icachePage)}
+	m := &Machine{phys: phys}
+	m.fetchTLB.vpn = invalidVPN
+	return m
 }
 
 // InvalidateFrame drops cached decodes for a physical frame. The kernel
 // calls it after privileged copies (loader section writes, cross-process
-// injection) that bypass the CPU's store path.
+// injection) that bypass the CPU's store path; the CPU itself calls it on
+// every store, so it must stay cheap for frames with nothing cached.
 func (m *Machine) InvalidateFrame(frame uint32) {
-	delete(m.icache, frame)
-	if m.fetchTLB.ok && m.fetchTLB.frame == frame {
-		m.fetchTLB.ok = false
+	if int(frame) < len(m.icache) {
+		m.icache[frame] = nil
+	}
+	if m.fetchTLB.frame == frame {
+		m.fetchTLB.vpn = invalidVPN
 	}
 }
 
@@ -168,7 +208,7 @@ func (m *Machine) Phys() *mem.Phys { return m.phys }
 // switch). The kernel saves/restores CPU state around it.
 func (m *Machine) SetSpace(s *mem.Space) {
 	if m.space != s {
-		m.fetchTLB.ok = false
+		m.fetchTLB.vpn = invalidVPN
 	}
 	m.space = s
 }
@@ -187,6 +227,16 @@ func (m *Machine) CR3() uint32 {
 // OnBeforeInstr registers a hook that fires before each instruction executes.
 func (m *Machine) OnBeforeInstr(h InstrHook) { m.beforeInstr = append(m.beforeInstr, h) }
 
+// OnInstrPlugin registers the interface-dispatched before-instruction
+// observer. Only one may be registered; it fires before any OnBeforeInstr
+// hooks.
+func (m *Machine) OnInstrPlugin(p InstrPlugin) {
+	if m.plugin != nil {
+		panic("vm: OnInstrPlugin called twice")
+	}
+	m.plugin = p
+}
+
 // OnAfterInstr registers a hook that fires after each retired instruction.
 func (m *Machine) OnAfterInstr(h InstrHook) { m.afterInstr = append(m.afterInstr, h) }
 
@@ -199,7 +249,11 @@ func (m *Machine) OnMemWrite(h MemHook) { m.memWrite = append(m.memWrite, h) }
 // HookCount returns the number of registered hooks; the scenario harness
 // reports it so performance runs can document their instrumentation level.
 func (m *Machine) HookCount() int {
-	return len(m.beforeInstr) + len(m.afterInstr) + len(m.memRead) + len(m.memWrite)
+	n := len(m.beforeInstr) + len(m.afterInstr) + len(m.memRead) + len(m.memWrite)
+	if m.plugin != nil {
+		n++
+	}
+	return n
 }
 
 // FetchInstr reads and decodes the instruction at va with execute
@@ -207,7 +261,7 @@ func (m *Machine) HookCount() int {
 // does not straddle a page boundary.
 func (m *Machine) FetchInstr(va uint32) (isa.Instruction, error) {
 	// Fast path: same code page as the previous fetch, mappings unchanged.
-	if t := &m.fetchTLB; t.ok && t.space == m.space && t.vpn == va>>mem.PageShift &&
+	if t := &m.fetchTLB; t.vpn == va>>mem.PageShift &&
 		t.gen == m.space.Gen() && va%isa.InstrSize == 0 {
 		slot := (va % mem.PageSize) / isa.InstrSize
 		if t.page.state[slot] == 1 {
@@ -228,17 +282,21 @@ func (m *Machine) FetchInstr(va uint32) (isa.Instruction, error) {
 		return isa.Decode(buf)
 	}
 	frame := pa.Frame()
-	page, ok := m.icache[frame]
-	if !ok {
+	var page *icachePage
+	if int(frame) < len(m.icache) {
+		page = m.icache[frame]
+	}
+	if page == nil {
 		page = &icachePage{}
+		for int(frame) >= len(m.icache) {
+			m.icache = append(m.icache, nil)
+		}
 		m.icache[frame] = page
 	}
-	m.fetchTLB.space = m.space
 	m.fetchTLB.gen = m.space.Gen()
 	m.fetchTLB.vpn = va >> mem.PageShift
 	m.fetchTLB.frame = frame
 	m.fetchTLB.page = page
-	m.fetchTLB.ok = true
 	slot := off / isa.InstrSize
 	switch page.state[slot] {
 	case 1:
@@ -262,10 +320,14 @@ func (m *Machine) FetchInstr(va uint32) (isa.Instruction, error) {
 
 // read32 loads a word, firing mem-read hooks.
 func (m *Machine) read32(pc uint32, in isa.Instruction, va uint32) (uint32, error) {
-	pa, err := m.dataPA(va, mem.AccessRead)
-	if err != nil {
-		return 0, err
+	pa, ok := m.lookupPA(va, 0)
+	if !ok {
+		var err error
+		if pa, err = m.dataPAFill(va, mem.AccessRead, &m.dtlb[0]); err != nil {
+			return 0, err
+		}
 	}
+	var err error
 	var v uint32
 	if off := pa.Offset(); off <= mem.PageSize-4 {
 		f, ferr := m.phys.Frame(pa.Frame())
@@ -287,9 +349,12 @@ func (m *Machine) read32(pc uint32, in isa.Instruction, va uint32) (uint32, erro
 
 // read8 loads a byte, firing mem-read hooks.
 func (m *Machine) read8(pc uint32, in isa.Instruction, va uint32) (uint32, error) {
-	pa, err := m.dataPA(va, mem.AccessRead)
-	if err != nil {
-		return 0, err
+	pa, ok := m.lookupPA(va, 0)
+	if !ok {
+		var err error
+		if pa, err = m.dataPAFill(va, mem.AccessRead, &m.dtlb[0]); err != nil {
+			return 0, err
+		}
 	}
 	b, err := m.phys.ReadByteAt(pa)
 	if err != nil {
@@ -304,9 +369,12 @@ func (m *Machine) read8(pc uint32, in isa.Instruction, va uint32) (uint32, error
 // write32 stores a word, firing mem-write hooks and invalidating cached
 // decodes for the written frames.
 func (m *Machine) write32(pc uint32, in isa.Instruction, va uint32, v uint32) error {
-	pa, err := m.dataPA(va, mem.AccessWrite)
-	if err != nil {
-		return err
+	pa, ok := m.lookupPA(va, 1)
+	if !ok {
+		var err error
+		if pa, err = m.dataPAFill(va, mem.AccessWrite, &m.dtlb[1]); err != nil {
+			return err
+		}
 	}
 	if off := pa.Offset(); off <= mem.PageSize-4 {
 		f, ferr := m.phys.Frame(pa.Frame())
@@ -332,9 +400,12 @@ func (m *Machine) write32(pc uint32, in isa.Instruction, va uint32, v uint32) er
 
 // write8 stores a byte, firing mem-write hooks.
 func (m *Machine) write8(pc uint32, in isa.Instruction, va uint32, v byte) error {
-	pa, err := m.dataPA(va, mem.AccessWrite)
-	if err != nil {
-		return err
+	pa, ok := m.lookupPA(va, 1)
+	if !ok {
+		var err error
+		if pa, err = m.dataPAFill(va, mem.AccessWrite, &m.dtlb[1]); err != nil {
+			return err
+		}
 	}
 	if err := m.phys.WriteByteAt(pa, v); err != nil {
 		return err
@@ -397,9 +468,23 @@ func (m *Machine) Step() (Trap, error) {
 		return fault(m.CPU.EIP, fmt.Errorf("vm: no address space loaded"))
 	}
 	pc := m.CPU.EIP
-	in, err := m.FetchInstr(pc)
-	if err != nil {
-		return fault(pc, fmt.Errorf("vm: fetch at 0x%08X: %w", pc, err))
+	// Fetch fast path, by hand: FetchInstr is beyond the inlining budget,
+	// and the call alone is measurable at one call per instruction. The
+	// condition mirrors FetchInstr's TLB hit exactly.
+	var in isa.Instruction
+	var err error
+	slot := pc % mem.PageSize / isa.InstrSize
+	if t := &m.fetchTLB; t.vpn == pc>>mem.PageShift && t.gen == m.space.Gen() &&
+		pc%isa.InstrSize == 0 && t.page.state[slot] == 1 {
+		in = t.page.instrs[slot]
+	} else {
+		in, err = m.FetchInstr(pc)
+		if err != nil {
+			return fault(pc, fmt.Errorf("vm: fetch at 0x%08X: %w", pc, err))
+		}
+	}
+	if p := m.plugin; p != nil {
+		p.BeforeInstr(m, pc, in)
 	}
 	for _, h := range m.beforeInstr {
 		h(m, pc, in)
@@ -422,7 +507,12 @@ func (m *Machine) Step() (Trap, error) {
 			regs[in.Dst] = in.Imm
 		}
 	case isa.OpLd, isa.OpLdb:
-		addr, _ := EffectiveAddr(&m.CPU, in)
+		// EffectiveAddr inlined; the &7 masks are free (Decode validated the
+		// registers) and let the compiler elide the bounds checks.
+		addr := regs[in.Src&7] + in.Imm
+		if in.Mode == isa.ModeRX {
+			addr = regs[in.Src&7] + regs[in.Imm&7]
+		}
 		var v uint32
 		if in.Op == isa.OpLd {
 			v, err = m.read32(pc, in, addr)
@@ -432,9 +522,12 @@ func (m *Machine) Step() (Trap, error) {
 		if err != nil {
 			return fault(pc, err)
 		}
-		regs[in.Dst] = v
+		regs[in.Dst&7] = v
 	case isa.OpSt, isa.OpStb:
-		addr, _ := EffectiveAddr(&m.CPU, in)
+		addr := regs[in.Dst&7] + in.Imm
+		if in.Mode == isa.ModeXR {
+			addr = regs[in.Dst&7] + regs[in.Imm&7]
+		}
 		if in.Op == isa.OpSt {
 			err = m.write32(pc, in, addr, regs[in.Src])
 		} else {
