@@ -7,17 +7,19 @@
 //
 //	farosd                         # listen on :7373, GOMAXPROCS workers
 //	farosd -addr :9000 -workers 8 -timeout 30s -cache 1024
+//	farosd -retention 4096 -retention-age 1h -cache-ttl 30m -cache-lru -degraded-ttl 10s
 //
 // API:
 //
-//	POST /analyze        {"scenario": "njrat", "wait": true}
-//	POST /analyze        {"scenario_file": {...}, "mode": "live"}
-//	GET  /jobs/{id}      job status and result
-//	GET  /results/{hash} cached result by cache key
-//	GET  /metrics        Prometheus text exposition
-//	GET  /stats          pipeline.Stats as JSON
-//	GET  /scenarios      built-in scenario namespace
-//	GET  /healthz        liveness
+//	POST /analyze          {"scenario": "njrat", "wait": true}
+//	POST /analyze          {"scenario_file": {...}, "mode": "live"}
+//	GET  /jobs/{id}        job status and result (404 once retention expires it)
+//	POST /jobs/{id}/cancel detach this waiter from its job
+//	GET  /results/{hash}   cached result by cache key
+//	GET  /metrics          Prometheus text exposition
+//	GET  /stats            pipeline.Stats as JSON
+//	GET  /scenarios        built-in scenario namespace
+//	GET  /healthz          liveness
 package main
 
 import (
@@ -46,13 +48,23 @@ func run() int {
 	queue := flag.Int("queue", 0, "job queue depth (0 = default 256)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-job deadline (negative disables)")
 	cache := flag.Int("cache", 0, "result cache capacity (0 = default 512, negative disables)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry TTL (0 = entries never age out)")
+	cacheLRU := flag.Bool("cache-lru", false, "evict cache entries least-recently-used instead of FIFO")
+	degradedTTL := flag.Duration("degraded-ttl", 0, "cache degraded (partial-failure) results for this long (0 = never cache them)")
+	retention := flag.Int("retention", 0, "terminal jobs kept for GET /jobs/{id} (0 = default 1024, negative disables)")
+	retentionAge := flag.Duration("retention-age", 0, "max age of retained terminal jobs (0 = default 15m, negative = no age limit)")
 	flag.Parse()
 
 	pool := pipeline.New(pipeline.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *timeout,
-		CacheCap:   *cache,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		JobTimeout:      *timeout,
+		CacheCap:        *cache,
+		CacheTTL:        *cacheTTL,
+		CacheLRU:        *cacheLRU,
+		DegradedTTL:     *degradedTTL,
+		JobRetention:    *retention,
+		JobRetentionAge: *retentionAge,
 	})
 	handler := pipeline.NewHandler(pool, pipeline.ServerConfig{
 		Resolve: func(name string) (samples.Spec, bool) {

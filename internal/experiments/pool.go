@@ -23,7 +23,10 @@ var (
 
 func pool() *pipeline.Pool {
 	poolOnce.Do(func() {
-		sweepPool = pipeline.New(pipeline.Config{})
+		// Retention is off: RunAll consumes results through its own
+		// waiter handles, so keeping terminal JobViews around would only
+		// hold sweep output alive across experiments.
+		sweepPool = pipeline.New(pipeline.Config{JobRetention: -1})
 	})
 	return sweepPool
 }

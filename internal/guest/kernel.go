@@ -152,17 +152,17 @@ type Kernel struct {
 // kernel export table, and wires the network stack to the event queue.
 func NewKernel() (*Kernel, error) {
 	k := &Kernel{
-		M:       vm.New(mem.NewPhys()),
-		FS:      gfs.New(),
-		Net:     gnet.NewStack(DefaultLocalIP),
-		Reg:     NewRegistry(),
-		Bridge:  NopBridge{},
-		Quantum: DefaultQuantum,
-		procs:   make(map[uint32]*Process),
-		nextPID: 100,
-		nextCR3: 0x00185000, // Windows-flavored CR3 values
-		events:  record.NewQueue(nil),
-		apiAddr: make(map[uint32]uint32),
+		M:        vm.New(mem.NewPhys()),
+		FS:       gfs.New(),
+		Net:      gnet.NewStack(DefaultLocalIP),
+		Reg:      NewRegistry(),
+		Bridge:   NopBridge{},
+		Quantum:  DefaultQuantum,
+		procs:    make(map[uint32]*Process),
+		nextPID:  100,
+		nextCR3:  0x00185000, // Windows-flavored CR3 values
+		events:   record.NewQueue(nil),
+		apiAddr:  make(map[uint32]uint32),
 		apiNames: map[uint32]string{},
 	}
 	k.Net.SetScheduler(k)

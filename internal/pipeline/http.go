@@ -98,13 +98,15 @@ func (sc ServerConfig) resolveSpec(req AnalyzeRequest) (samples.Spec, error) {
 
 // NewHandler builds the farosd HTTP API over a pool:
 //
-//	POST /analyze        submit a job (optionally waiting for the result)
-//	GET  /jobs/{id}      job status + result
-//	GET  /results/{hash} cached result by cache key
-//	GET  /metrics        Prometheus text exposition
-//	GET  /stats          Stats snapshot as JSON
-//	GET  /scenarios      scenario namespace
-//	GET  /healthz        liveness
+//	POST /analyze          submit a job (optionally waiting for the result)
+//	GET  /jobs/{id}        job status + result (settled jobs answer from the
+//	                       retention ring until count/age evicts them → 404)
+//	POST /jobs/{id}/cancel detach this waiter (coalesced peers unaffected)
+//	GET  /results/{hash}   cached result by cache key
+//	GET  /metrics          Prometheus text exposition
+//	GET  /stats            Stats snapshot as JSON
+//	GET  /scenarios        scenario namespace
+//	GET  /healthz          liveness
 func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 	mux := http.NewServeMux()
 
@@ -181,6 +183,20 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, view)
+	})
+
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if p.Cancel(id) {
+			view, _ := p.View(id)
+			writeJSON(w, http.StatusOK, view)
+			return
+		}
+		if _, ok := p.View(id); ok {
+			writeErr(w, &httpError{http.StatusConflict, "job " + id + " already settled"})
+			return
+		}
+		writeErr(w, &httpError{http.StatusNotFound, "unknown job " + id})
 	})
 
 	mux.HandleFunc("GET /results/{hash}", func(w http.ResponseWriter, r *http.Request) {

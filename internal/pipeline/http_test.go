@@ -2,7 +2,9 @@ package pipeline_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -15,6 +17,7 @@ import (
 	"faros"
 	"faros/internal/pipeline"
 	"faros/internal/samples"
+	"faros/internal/scenario"
 )
 
 func newTestServer(t *testing.T, cfg pipeline.Config) (*httptest.Server, *pipeline.Pool) {
@@ -311,5 +314,142 @@ func TestServerNamespace(t *testing.T) {
 	h, err := http.Get(srv.URL + "/healthz")
 	if err != nil || h.StatusCode != http.StatusOK {
 		t.Errorf("healthz: %v %d", err, h.StatusCode)
+	}
+}
+
+// TestServerJobRetentionExpiry: GET /jobs/{id} answers from the retention
+// ring after a job settles, and 404s once retention age expires it.
+func TestServerJobRetentionExpiry(t *testing.T) {
+	srv, _ := newTestServer(t, pipeline.Config{
+		Workers: 1, JobRetention: 8, JobRetentionAge: 100 * time.Millisecond,
+	})
+	wire, err := samples.MarshalSpec(samples.Spinner(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, view := postAnalyze(t, srv, fmt.Sprintf(`{"spec": %s, "mode": "live", "wait": true}`, wire))
+	if resp.StatusCode != http.StatusOK || view.State != pipeline.StateDone {
+		t.Fatalf("submit: status %d view %+v", resp.StatusCode, view)
+	}
+
+	// Settled → still visible from retention.
+	r, err := http.Get(srv.URL + "/jobs/" + view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s right after settle: status %d", view.ID, r.StatusCode)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	r, err = http.Get(srv.URL + "/jobs/" + view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /jobs/%s after retention expiry: status %d, want 404", view.ID, r.StatusCode)
+	}
+}
+
+// TestServerCancelEndpoint: POST /jobs/{id}/cancel detaches the waiter;
+// cancelling a settled job is 409, an unknown one 404.
+func TestServerCancelEndpoint(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	blocking := func(ctx context.Context, req pipeline.Request) (*scenario.Result, error) {
+		select {
+		case <-release:
+			return &scenario.Result{Name: req.Spec.Name}, nil
+		case <-ctx.Done():
+			return nil, &scenario.CancelError{Scenario: req.Spec.Name, Instructions: 1}
+		}
+	}
+	srv, _ := newTestServer(t, pipeline.Config{Workers: 1, Runner: blocking})
+
+	wire, err := samples.MarshalSpec(samples.Spinner(1 << 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, view := postAnalyze(t, srv, fmt.Sprintf(`{"spec": %s, "mode": "live"}`, wire))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	r, err := http.Post(srv.URL+"/jobs/"+view.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canceled pipeline.JobView
+	if err := json.NewDecoder(r.Body).Decode(&canceled); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || canceled.State != pipeline.StateCanceled {
+		t.Fatalf("cancel: status %d state %s", r.StatusCode, canceled.State)
+	}
+
+	// Second cancel: the job has settled, so 409.
+	r, err = http.Post(srv.URL+"/jobs/"+view.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Errorf("re-cancel: status %d, want 409", r.StatusCode)
+	}
+
+	r, err = http.Post(srv.URL+"/jobs/j999999/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("cancel unknown job: status %d, want 404", r.StatusCode)
+	}
+}
+
+// TestServerDegradedNotCached: a degraded result is visible to the waiter
+// but never enters the cache; /metrics exposes the skip counter and the
+// retention gauge.
+func TestServerDegradedNotCached(t *testing.T) {
+	degraded := func(ctx context.Context, req pipeline.Request) (*scenario.Result, error) {
+		return &scenario.Result{Name: req.Spec.Name, Err: errors.New("recovered plugin panic: boom")}, nil
+	}
+	srv, _ := newTestServer(t, pipeline.Config{Workers: 1, Runner: degraded})
+
+	wire, err := samples.MarshalSpec(samples.Spinner(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"spec": %s, "mode": "live", "wait": true}`, wire)
+	_, first := postAnalyze(t, srv, body)
+	if first.State != pipeline.StateDone || first.Result == nil || first.Result.Degraded == "" {
+		t.Fatalf("first run: %+v", first)
+	}
+	_, second := postAnalyze(t, srv, body)
+	if second.CacheHit {
+		t.Error("degraded result served from cache over HTTP")
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	metricsText := buf.String()
+	for _, want := range []string{
+		"faros_cache_skipped_degraded_total 2",
+		"faros_jobs_retained 2",
+		"faros_cache_hits_total 0",
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }

@@ -39,18 +39,21 @@ func (h *histogram) observe(seconds float64) {
 
 // counters is the mutable metric state, guarded by metrics.mu.
 type counters struct {
-	submitted    uint64
-	coalesced    uint64
-	done         uint64
-	failed       uint64
-	deadlines    uint64
-	canceled     uint64
-	cacheHits    uint64
-	cacheMisses  uint64
-	instructions uint64
-	findings     map[string]uint64
-	lat          *histogram
-	taint        TaintStats
+	submitted            uint64
+	coalesced            uint64
+	done                 uint64
+	failed               uint64
+	deadlines            uint64
+	canceled             uint64
+	queueFull            uint64
+	cacheHits            uint64
+	cacheMisses          uint64
+	cacheExpired         uint64
+	cacheSkippedDegraded uint64
+	instructions         uint64
+	findings             map[string]uint64
+	lat                  *histogram
+	taint                TaintStats
 }
 
 // TaintStats aggregates the taint engine's fast-path counters across
@@ -94,10 +97,13 @@ type LatencyBucket struct {
 
 // snapshotGauges carries point-in-time gauge values into a snapshot.
 type snapshotGauges struct {
-	workers      int
-	queueDepth   int
-	running      int
-	cacheEntries int
+	workers          int
+	queueDepth       int
+	running          int
+	cacheEntries     int
+	jobsActive       int
+	jobsRetained     int
+	waitersCoalesced int
 }
 
 // Stats is an immutable snapshot of the pool's observable state. Both the
@@ -108,6 +114,14 @@ type Stats struct {
 	QueueDepth   int `json:"queue_depth"`
 	Running      int `json:"running"`
 	CacheEntries int `json:"cache_entries"`
+	// JobsActive is the size of the active (queued/running) registry;
+	// JobsRetained the size of the terminal-job retention ring. Together
+	// they bound farosd's per-job memory regardless of traffic volume.
+	JobsActive   int `json:"jobs_active"`
+	JobsRetained int `json:"jobs_retained"`
+	// WaitersCoalesced counts waiter handles currently sharing an
+	// in-flight run with at least one peer (the beyond-the-first waiters).
+	WaitersCoalesced int `json:"waiters_coalesced"`
 
 	JobsSubmitted uint64 `json:"jobs_submitted"`
 	JobsCoalesced uint64 `json:"jobs_coalesced"`
@@ -115,9 +129,15 @@ type Stats struct {
 	JobsFailed    uint64 `json:"jobs_failed"`
 	JobsDeadline  uint64 `json:"jobs_deadline"`
 	JobsCanceled  uint64 `json:"jobs_canceled"`
+	QueueFull     uint64 `json:"queue_full"`
 
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	// CacheExpired counts entries dropped at lookup because their TTL
+	// passed; CacheSkippedDegraded counts degraded results the cache
+	// policy refused to insert.
+	CacheExpired         uint64 `json:"cache_expired"`
+	CacheSkippedDegraded uint64 `json:"cache_skipped_degraded"`
 
 	Instructions   uint64            `json:"instructions"`
 	FindingsByRule map[string]uint64 `json:"findings_by_rule,omitempty"`
@@ -132,23 +152,29 @@ func (m *metrics) snapshot(g snapshotGauges) Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Stats{
-		Workers:        g.workers,
-		QueueDepth:     g.queueDepth,
-		Running:        g.running,
-		CacheEntries:   g.cacheEntries,
-		JobsSubmitted:  m.c.submitted,
-		JobsCoalesced:  m.c.coalesced,
-		JobsDone:       m.c.done,
-		JobsFailed:     m.c.failed,
-		JobsDeadline:   m.c.deadlines,
-		JobsCanceled:   m.c.canceled,
-		CacheHits:      m.c.cacheHits,
-		CacheMisses:    m.c.cacheMisses,
-		Instructions:   m.c.instructions,
-		FindingsByRule: make(map[string]uint64, len(m.c.findings)),
-		Taint:          m.c.taint,
-		LatencyCount:   m.c.lat.n,
-		LatencySum:     time.Duration(m.c.lat.sum * float64(time.Second)),
+		Workers:              g.workers,
+		QueueDepth:           g.queueDepth,
+		Running:              g.running,
+		CacheEntries:         g.cacheEntries,
+		JobsActive:           g.jobsActive,
+		JobsRetained:         g.jobsRetained,
+		WaitersCoalesced:     g.waitersCoalesced,
+		JobsSubmitted:        m.c.submitted,
+		JobsCoalesced:        m.c.coalesced,
+		JobsDone:             m.c.done,
+		JobsFailed:           m.c.failed,
+		JobsDeadline:         m.c.deadlines,
+		JobsCanceled:         m.c.canceled,
+		QueueFull:            m.c.queueFull,
+		CacheHits:            m.c.cacheHits,
+		CacheMisses:          m.c.cacheMisses,
+		CacheExpired:         m.c.cacheExpired,
+		CacheSkippedDegraded: m.c.cacheSkippedDegraded,
+		Instructions:         m.c.instructions,
+		FindingsByRule:       make(map[string]uint64, len(m.c.findings)),
+		Taint:                m.c.taint,
+		LatencyCount:         m.c.lat.n,
+		LatencySum:           time.Duration(m.c.lat.sum * float64(time.Second)),
 	}
 	for rule, n := range m.c.findings {
 		s.FindingsByRule[rule] = n
@@ -184,12 +210,12 @@ func (s Stats) CacheHitRate() float64 {
 // String renders a compact human-readable report (the CLI surface).
 func (s Stats) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "pipeline: %d workers, %d queued, %d running, %d cached results\n",
-		s.Workers, s.QueueDepth, s.Running, s.CacheEntries)
-	fmt.Fprintf(&sb, "jobs: %d submitted, %d done, %d failed (%d deadline), %d canceled, %d coalesced\n",
-		s.JobsSubmitted, s.JobsDone, s.JobsFailed, s.JobsDeadline, s.JobsCanceled, s.JobsCoalesced)
-	fmt.Fprintf(&sb, "cache: %d hits, %d misses (%.0f%% hit rate)\n",
-		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate())
+	fmt.Fprintf(&sb, "pipeline: %d workers, %d queued, %d running, %d active / %d retained jobs, %d cached results\n",
+		s.Workers, s.QueueDepth, s.Running, s.JobsActive, s.JobsRetained, s.CacheEntries)
+	fmt.Fprintf(&sb, "jobs: %d submitted, %d done, %d failed (%d deadline), %d canceled, %d coalesced, %d queue-full\n",
+		s.JobsSubmitted, s.JobsDone, s.JobsFailed, s.JobsDeadline, s.JobsCanceled, s.JobsCoalesced, s.QueueFull)
+	fmt.Fprintf(&sb, "cache: %d hits, %d misses (%.0f%% hit rate), %d expired, %d degraded skipped\n",
+		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate(), s.CacheExpired, s.CacheSkippedDegraded)
 	fmt.Fprintf(&sb, "guest: %d instructions executed\n", s.Instructions)
 	if t := s.Taint; t.Prepends+t.Unions+t.ShadowWrites > 0 {
 		fmt.Fprintf(&sb, "taint: %d prepends (%.0f%% memoized), %d unions (%.0f%% memoized), %d shadow writes, %d page skips, %d instr-prov hits\n",
@@ -231,14 +257,20 @@ func (s Stats) Prometheus() string {
 	gauge("faros_jobs_queued", "Jobs waiting in the queue.", s.QueueDepth)
 	gauge("faros_jobs_running", "Jobs currently executing.", s.Running)
 	gauge("faros_cache_entries", "Results held in the cache.", s.CacheEntries)
+	gauge("faros_jobs_active", "Waiter handles in the active (queued/running) registry.", s.JobsActive)
+	gauge("faros_jobs_retained", "Terminal jobs held in the retention ring.", s.JobsRetained)
+	gauge("faros_waiters_coalesced", "Waiters currently sharing an in-flight run with a peer.", s.WaitersCoalesced)
 	counter("faros_jobs_submitted_total", "Jobs accepted into the queue.", s.JobsSubmitted)
-	counter("faros_jobs_coalesced_total", "Submissions coalesced onto an in-flight identical job.", s.JobsCoalesced)
-	counter("faros_jobs_done_total", "Jobs completed successfully.", s.JobsDone)
-	counter("faros_jobs_failed_total", "Jobs failed (including deadline expiries).", s.JobsFailed)
-	counter("faros_jobs_deadline_total", "Jobs cancelled by their deadline.", s.JobsDeadline)
-	counter("faros_jobs_canceled_total", "Jobs cancelled by request.", s.JobsCanceled)
+	counter("faros_jobs_coalesced_total", "Submissions coalesced onto an in-flight identical run.", s.JobsCoalesced)
+	counter("faros_jobs_done_total", "Waiter handles settled successfully.", s.JobsDone)
+	counter("faros_jobs_failed_total", "Waiter handles settled failed (including deadline expiries).", s.JobsFailed)
+	counter("faros_jobs_deadline_total", "Runs cancelled by their deadline.", s.JobsDeadline)
+	counter("faros_jobs_canceled_total", "Waiter handles cancelled by request.", s.JobsCanceled)
+	counter("faros_queue_full_total", "Submissions rejected because the queue was at capacity.", s.QueueFull)
 	counter("faros_cache_hits_total", "Submissions served from the result cache.", s.CacheHits)
 	counter("faros_cache_misses_total", "Cacheable submissions that missed the cache.", s.CacheMisses)
+	counter("faros_cache_expired_total", "Cache entries dropped at lookup because their TTL passed.", s.CacheExpired)
+	counter("faros_cache_skipped_degraded_total", "Degraded results the cache policy refused to insert.", s.CacheSkippedDegraded)
 	counter("faros_guest_instructions_total", "Guest instructions executed by completed jobs.", s.Instructions)
 	counter("faros_taint_prepends_total", "Provenance list prepends across completed FAROS jobs.", s.Taint.Prepends)
 	counter("faros_taint_prepend_memo_hits_total", "Prepends answered from the memo table.", s.Taint.PrependMemoHits)

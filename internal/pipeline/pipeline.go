@@ -7,9 +7,17 @@
 // and a metrics surface rendered by both cmd/farosd's HTTP endpoints and
 // the CLI. internal/experiments submits its corpus sweeps through the same
 // pool, which is what gives farosbench parallel execution.
+//
+// Job lifecycle: Submit returns a per-waiter handle. Identical concurrent
+// submissions coalesce onto one underlying run, but each waiter cancels
+// independently — the run is only aborted when its last waiter detaches.
+// Terminal jobs move from the active registry to a bounded retention ring
+// (count + age), so the service's memory stays flat under sustained
+// traffic while GET /jobs/{id} keeps answering for recently settled work.
 package pipeline
 
 import (
+	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -87,6 +95,8 @@ type Result struct {
 	WallTime     time.Duration `json:"wall_ns"`
 	// Degraded carries the scenario's partial-failure error (recovered
 	// plugin panic, replay divergence) when the run completed degraded.
+	// Degraded results are not deterministic, so the cache skips them
+	// (or holds them only briefly — see Config.DegradedTTL).
 	Degraded string `json:"degraded,omitempty"`
 
 	// Raw is the full scenario result for in-process consumers (the
@@ -94,14 +104,39 @@ type Result struct {
 	Raw *scenario.Result `json:"-"`
 }
 
-// Job is one submission's handle. All fields are guarded by the pool's
-// mutex; read them through View or after Wait.
+// run is one underlying execution, shared by every waiter whose submission
+// coalesced onto it. All fields are guarded by the pool's mutex.
+type run struct {
+	key     string
+	req     Request
+	waiters []*Job
+
+	running  bool
+	canceled bool // last waiter detached; drop on pop, abort if running
+	started  time.Time
+	cancel   context.CancelFunc
+}
+
+// detach removes one waiter; p.mu must be held.
+func (r *run) detach(job *Job) {
+	for i, w := range r.waiters {
+		if w == job {
+			r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Job is one submission's waiter handle. Coalesced submissions share a run
+// but each get their own Job, so cancelling one never poisons its peers.
+// All fields are guarded by the pool's mutex; read them through View or
+// after Wait.
 type Job struct {
 	ID       string
 	Hash     string
 	Scenario string
 
-	req      Request
+	run      *run // nil once settled
 	state    State
 	cacheHit bool
 	err      error
@@ -111,9 +146,7 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 
-	canceled bool
-	cancel   context.CancelFunc
-	done     chan struct{}
+	done chan struct{}
 }
 
 // Done returns a channel closed when the job finishes.
@@ -131,6 +164,12 @@ type JobView struct {
 	Finished  time.Time `json:"finished"`
 	Error     string    `json:"error,omitempty"`
 	Result    *Result   `json:"result,omitempty"`
+}
+
+// retainedJob is a settled job's terminal view held in the retention ring.
+type retainedJob struct {
+	view    JobView
+	expires time.Time // zero = no age limit
 }
 
 // Runner executes one request; the default runs the scenario engine.
@@ -151,6 +190,24 @@ type Config struct {
 	// CacheCap bounds the result cache entry count (default 512;
 	// negative disables caching).
 	CacheCap int
+	// CacheTTL expires cache entries this long after insertion
+	// (default 0 = entries never age out).
+	CacheTTL time.Duration
+	// CacheLRU switches cache eviction from insertion order (FIFO) to
+	// least-recently-used.
+	CacheLRU bool
+	// DegradedTTL controls caching of degraded results (recovered plugin
+	// panic, replay divergence). 0 (the default) never caches them —
+	// every identical re-submission re-runs and gets a fresh chance at a
+	// clean result. >0 caches them for that long only.
+	DegradedTTL time.Duration
+	// JobRetention bounds how many terminal jobs stay addressable via
+	// View / GET /jobs/{id} after they settle (default 1024; negative
+	// disables retention — settled jobs are forgotten immediately).
+	JobRetention int
+	// JobRetentionAge expires retained jobs by age (default 15m;
+	// negative = no age limit).
+	JobRetentionAge time.Duration
 	// Runner overrides the analysis function (tests only).
 	Runner Runner
 }
@@ -161,19 +218,29 @@ var ErrQueueFull = errors.New("pipeline: job queue full")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("pipeline: pool closed")
 
+// cacheEntry is one cached result plus its eviction bookkeeping.
+type cacheEntry struct {
+	key     string
+	res     *Result
+	expires time.Time // zero = never
+	elem    *list.Element
+}
+
 // Pool is the analysis service: a job queue drained by a bounded set of
 // worker goroutines, fronted by a result cache.
 type Pool struct {
 	cfg     Config
-	queue   chan *Job
+	queue   chan *run
 	metrics *metrics
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	inflight map[string]*Job   // cache key → queued/running job (dedup)
-	cache    map[string]*Result // cache key → completed result
-	order    []string           // cache keys in insertion order (FIFO eviction)
-	closed   bool
+	mu        sync.Mutex
+	jobs      map[string]*Job        // active (queued/running) waiter handles
+	inflight  map[string]*run        // cache key → queued/running run (dedup)
+	cache     map[string]*cacheEntry // cache key → completed result
+	cacheList *list.List             // eviction order: front is next victim
+	retained  map[string]*retainedJob
+	retOrder  []string // retained job IDs, oldest first
+	closed    bool
 
 	running atomic.Int64
 	nextID  atomic.Uint64
@@ -194,16 +261,24 @@ func New(cfg Config) *Pool {
 	if cfg.CacheCap == 0 {
 		cfg.CacheCap = 512
 	}
+	if cfg.JobRetention == 0 {
+		cfg.JobRetention = 1024
+	}
+	if cfg.JobRetentionAge == 0 {
+		cfg.JobRetentionAge = 15 * time.Minute
+	}
 	if cfg.Runner == nil {
 		cfg.Runner = runScenario
 	}
 	p := &Pool{
-		cfg:      cfg,
-		queue:    make(chan *Job, cfg.QueueDepth),
-		metrics:  newMetrics(),
-		jobs:     make(map[string]*Job),
-		inflight: make(map[string]*Job),
-		cache:    make(map[string]*Result),
+		cfg:       cfg,
+		queue:     make(chan *run, cfg.QueueDepth),
+		metrics:   newMetrics(),
+		jobs:      make(map[string]*Job),
+		inflight:  make(map[string]*run),
+		cache:     make(map[string]*cacheEntry),
+		cacheList: list.New(),
+		retained:  make(map[string]*retainedJob),
 	}
 	p.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -223,14 +298,14 @@ func runScenario(ctx context.Context, req Request) (*scenario.Result, error) {
 
 // cacheKey derives the deterministic identity of a request: the spec hash
 // plus the analysis mode and engine configuration (the same spec under a
-// different policy is different work). Returns "" for uncacheable specs
-// (endpoint types without a wire encoding).
+// different policy is different work). ModeDetect ignores the engine
+// config — it always runs the paper's default policy — so the key
+// normalizes it to zero there; otherwise identical detect requests that
+// happened to carry different (ignored) configs would spuriously miss.
+// Returns "" for uncacheable specs (endpoint types without a wire
+// encoding).
 func cacheKey(req Request) string {
 	specHash, err := samples.SpecHash(req.Spec)
-	if err != nil {
-		return ""
-	}
-	cfgJSON, err := json.Marshal(req.Config)
 	if err != nil {
 		return ""
 	}
@@ -238,14 +313,23 @@ func cacheKey(req Request) string {
 	if mode == "" {
 		mode = ModeDetect
 	}
+	cfg := req.Config
+	if mode == ModeDetect {
+		cfg = core.Config{}
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return ""
+	}
 	sum := sha256.Sum256([]byte(specHash + "|" + string(mode) + "|" + string(cfgJSON)))
 	return hex.EncodeToString(sum[:])
 }
 
-// Submit enqueues a request. Identical requests (same cache key) are
-// served from the cache when already completed, or coalesced onto the
-// in-flight job when queued/running. Returns the job handle — possibly a
-// shared one — or ErrQueueFull/ErrClosed.
+// Submit enqueues a request and returns this submission's waiter handle.
+// Identical requests (same cache key) are served from the cache when
+// already completed, or coalesced onto the in-flight run when
+// queued/running — each waiter still gets its own Job, so Cancel detaches
+// only that waiter. Returns ErrQueueFull/ErrClosed otherwise.
 func (p *Pool) Submit(req Request) (*Job, error) {
 	if req.Mode == "" {
 		req.Mode = ModeDetect
@@ -256,82 +340,92 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 	}
 
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
-		p.mu.Unlock()
 		return nil, ErrClosed
 	}
 	if key != "" {
-		if res, ok := p.cache[key]; ok {
+		if res, ok := p.lookupCacheLocked(key); ok {
 			job := p.newJobLocked(req, key)
 			job.state = StateDone
 			job.cacheHit = true
 			job.result = res
 			job.finished = time.Now()
 			close(job.done)
+			p.retainLocked(job)
 			p.metrics.add(func(m *counters) { m.cacheHits++ })
-			p.mu.Unlock()
 			return job, nil
 		}
-		if inflight, ok := p.inflight[key]; ok {
+		if r, ok := p.inflight[key]; ok && !r.canceled {
+			job := p.newJobLocked(req, key)
+			job.run = r
+			r.waiters = append(r.waiters, job)
+			if r.running {
+				job.state = StateRunning
+				job.started = r.started
+			}
+			p.jobs[job.ID] = job
 			p.metrics.add(func(m *counters) { m.coalesced++ })
-			p.mu.Unlock()
-			return inflight, nil
+			return job, nil
 		}
 	}
 	job := p.newJobLocked(req, key)
-	if key != "" {
-		p.inflight[key] = job
-		p.metrics.add(func(m *counters) { m.cacheMisses++ })
-	}
+	r := &run{key: key, req: req, waiters: []*Job{job}}
+	job.run = r
 	select {
-	case p.queue <- job:
+	case p.queue <- r:
 	default:
-		delete(p.jobs, job.ID)
-		if key != "" {
-			delete(p.inflight, key)
-		}
-		p.mu.Unlock()
+		p.metrics.add(func(m *counters) { m.queueFull++ })
 		return nil, ErrQueueFull
 	}
+	p.jobs[job.ID] = job
+	if key != "" {
+		p.inflight[key] = r
+		// Counted only after successful enqueue: an ErrQueueFull
+		// rejection is back-pressure, not a cache miss.
+		p.metrics.add(func(m *counters) { m.cacheMisses++ })
+	}
 	p.metrics.add(func(m *counters) { m.submitted++ })
-	p.mu.Unlock()
 	return job, nil
 }
 
-// newJobLocked allocates and registers a job; p.mu must be held.
+// newJobLocked allocates a waiter handle; p.mu must be held. The caller
+// registers it in p.jobs (active) or the retention ring (terminal).
 func (p *Pool) newJobLocked(req Request, key string) *Job {
-	job := &Job{
+	return &Job{
 		ID:        fmt.Sprintf("j%06d", p.nextID.Add(1)),
 		Hash:      key,
 		Scenario:  req.Spec.Name,
-		req:       req,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
-	p.jobs[job.ID] = job
-	return job
 }
 
 // worker drains the queue until Close.
 func (p *Pool) worker() {
 	defer p.wg.Done()
-	for job := range p.queue {
-		p.runJob(job)
+	for r := range p.queue {
+		p.runJob(r)
 	}
 }
 
-// runJob executes one job end to end.
-func (p *Pool) runJob(job *Job) {
+// runJob executes one run end to end.
+func (p *Pool) runJob(r *run) {
 	p.mu.Lock()
-	if job.canceled {
-		p.finishLocked(job, nil, context.Canceled)
+	if r.canceled || len(r.waiters) == 0 {
+		// Every waiter detached while the run sat in the queue; it was
+		// already removed from inflight, so just drop it.
 		p.mu.Unlock()
 		return
 	}
-	job.state = StateRunning
-	job.started = time.Now()
-	timeout := job.req.Timeout
+	r.running = true
+	r.started = time.Now()
+	for _, w := range r.waiters {
+		w.state = StateRunning
+		w.started = r.started
+	}
+	timeout := r.req.Timeout
 	if timeout == 0 {
 		timeout = p.cfg.JobTimeout
 	}
@@ -342,8 +436,8 @@ func (p *Pool) runJob(job *Job) {
 	} else {
 		ctx, cancel = context.WithCancel(ctx)
 	}
-	job.cancel = cancel
-	req := job.req
+	r.cancel = cancel
+	req := r.req
 	p.mu.Unlock()
 
 	p.running.Add(1)
@@ -352,32 +446,32 @@ func (p *Pool) runJob(job *Job) {
 	cancel()
 
 	p.mu.Lock()
-	p.finishLocked(job, res, err)
+	p.finishRunLocked(r, res, err)
 	p.mu.Unlock()
 }
 
-// finishLocked records a job's outcome, populates the cache, and wakes
-// waiters; p.mu must be held.
-func (p *Pool) finishLocked(job *Job, res *scenario.Result, err error) {
-	job.finished = time.Now()
-	job.cancel = nil
-	if job.Hash != "" {
-		delete(p.inflight, job.Hash)
+// finishRunLocked records a run's outcome, applies the cache policy, and
+// settles every still-attached waiter; p.mu must be held.
+func (p *Pool) finishRunLocked(r *run, res *scenario.Result, err error) {
+	r.cancel = nil
+	if r.key != "" && p.inflight[r.key] == r {
+		delete(p.inflight, r.key)
 	}
-	wall := job.finished.Sub(job.started)
-	if job.started.IsZero() {
+	now := time.Now()
+	wall := now.Sub(r.started)
+	if r.started.IsZero() {
 		wall = 0
 	}
 
 	var de *scenario.DeadlineError
 	switch {
 	case err == nil:
-		job.state = StateDone
-		job.result = buildResult(job, res)
+		result := buildResult(r, res)
+		waiters := len(r.waiters)
 		p.metrics.add(func(m *counters) {
-			m.done++
-			m.instructions += job.result.Instructions
-			for _, f := range job.result.Findings {
+			m.done += uint64(waiters)
+			m.instructions += result.Instructions
+			for _, f := range result.Findings {
 				m.findings[f.Rule]++
 			}
 			if res != nil && res.Faros != nil {
@@ -394,31 +488,70 @@ func (p *Pool) finishLocked(job *Job, res *scenario.Result, err error) {
 			}
 			m.lat.observe(wall.Seconds())
 		})
-		if job.Hash != "" && p.cfg.CacheCap >= 0 {
-			p.storeLocked(job.Hash, job.result)
+		if r.key != "" && p.cfg.CacheCap >= 0 {
+			switch {
+			case result.Degraded == "":
+				var exp time.Time
+				if p.cfg.CacheTTL > 0 {
+					exp = now.Add(p.cfg.CacheTTL)
+				}
+				p.storeLocked(r.key, result, exp)
+			case p.cfg.DegradedTTL > 0:
+				p.storeLocked(r.key, result, now.Add(p.cfg.DegradedTTL))
+			default:
+				// A degraded result is a partial failure, not a
+				// deterministic outcome — serving it from cache would
+				// poison every future identical submission.
+				p.metrics.add(func(m *counters) { m.cacheSkippedDegraded++ })
+			}
+		}
+		for _, w := range r.waiters {
+			p.settleLocked(w, StateDone, result, nil, now)
 		}
 	case errors.As(err, &de):
-		job.state = StateFailed
-		job.err = err
-		p.metrics.add(func(m *counters) { m.deadlines++; m.failed++ })
+		waiters := len(r.waiters)
+		p.metrics.add(func(m *counters) { m.deadlines++; m.failed += uint64(waiters) })
+		for _, w := range r.waiters {
+			p.settleLocked(w, StateFailed, nil, err, now)
+		}
 	case errors.Is(err, context.Canceled):
-		job.state = StateCanceled
-		job.err = err
-		p.metrics.add(func(m *counters) { m.canceled++ })
+		waiters := len(r.waiters)
+		p.metrics.add(func(m *counters) { m.canceled += uint64(waiters) })
+		for _, w := range r.waiters {
+			p.settleLocked(w, StateCanceled, nil, err, now)
+		}
 	default:
-		job.state = StateFailed
-		job.err = err
-		p.metrics.add(func(m *counters) { m.failed++ })
+		waiters := len(r.waiters)
+		p.metrics.add(func(m *counters) { m.failed += uint64(waiters) })
+		for _, w := range r.waiters {
+			p.settleLocked(w, StateFailed, nil, err, now)
+		}
 	}
+	r.waiters = nil
+}
+
+// settleLocked moves one waiter to a terminal state: final fields, done
+// channel, active-registry removal, retention; p.mu must be held.
+func (p *Pool) settleLocked(job *Job, state State, res *Result, err error, now time.Time) {
+	if job.run == nil {
+		return // already settled (canceled waiter, Close race)
+	}
+	job.run = nil
+	job.state = state
+	job.result = res
+	job.err = err
+	job.finished = now
 	close(job.done)
+	delete(p.jobs, job.ID)
+	p.retainLocked(job)
 }
 
 // buildResult summarizes a scenario result for the service surface.
-func buildResult(job *Job, res *scenario.Result) *Result {
+func buildResult(r *run, res *scenario.Result) *Result {
 	out := &Result{
-		Hash:         job.Hash,
-		Scenario:     job.Scenario,
-		Mode:         job.req.Mode,
+		Hash:         r.key,
+		Scenario:     r.req.Spec.Name,
+		Mode:         r.req.Mode,
 		Instructions: res.Summary.Instructions,
 		WallTime:     res.WallTime,
 		Raw:          res,
@@ -440,22 +573,101 @@ func buildResult(job *Job, res *scenario.Result) *Result {
 	return out
 }
 
-// storeLocked inserts into the cache with FIFO eviction; p.mu must be held.
-func (p *Pool) storeLocked(key string, res *Result) {
-	if _, ok := p.cache[key]; !ok {
-		p.order = append(p.order, key)
+// retainLocked moves a terminal job into the retention ring; p.mu must be
+// held. The retained view drops Raw so the ring holds renderable
+// summaries, not full scenario state — in-process consumers read Raw
+// through their waiter handle (Wait), not through View.
+func (p *Pool) retainLocked(job *Job) {
+	if p.cfg.JobRetention < 0 {
+		return
 	}
-	p.cache[key] = res
-	for p.cfg.CacheCap > 0 && len(p.cache) > p.cfg.CacheCap {
-		oldest := p.order[0]
-		p.order = p.order[1:]
-		delete(p.cache, oldest)
+	now := time.Now()
+	p.sweepRetainedLocked(now)
+	rj := &retainedJob{view: p.viewLocked(job)}
+	if rj.view.Result != nil && rj.view.Result.Raw != nil {
+		stripped := *rj.view.Result
+		stripped.Raw = nil
+		rj.view.Result = &stripped
+	}
+	if p.cfg.JobRetentionAge > 0 {
+		rj.expires = now.Add(p.cfg.JobRetentionAge)
+	}
+	if _, ok := p.retained[job.ID]; !ok {
+		p.retOrder = append(p.retOrder, job.ID)
+	}
+	p.retained[job.ID] = rj
+	for p.cfg.JobRetention > 0 && len(p.retained) > p.cfg.JobRetention {
+		oldest := p.retOrder[0]
+		p.retOrder = p.retOrder[1:]
+		delete(p.retained, oldest)
 	}
 }
 
-// Cancel requests cancellation of a job: a queued job is dropped when a
-// worker picks it up, a running job has its context canceled (the guest
-// preemption check observes it within a few thousand instructions).
+// sweepRetainedLocked drops age-expired retained jobs from the front of
+// the ring (uniform age means the front expires first); p.mu must be held.
+func (p *Pool) sweepRetainedLocked(now time.Time) {
+	for len(p.retOrder) > 0 {
+		rj := p.retained[p.retOrder[0]]
+		if rj == nil {
+			p.retOrder = p.retOrder[1:]
+			continue
+		}
+		if rj.expires.IsZero() || now.Before(rj.expires) {
+			return
+		}
+		delete(p.retained, p.retOrder[0])
+		p.retOrder = p.retOrder[1:]
+	}
+}
+
+// lookupCacheLocked returns a live cache entry, expiring it if its TTL
+// passed and touching it under LRU eviction; p.mu must be held.
+func (p *Pool) lookupCacheLocked(key string) (*Result, bool) {
+	e, ok := p.cache[key]
+	if !ok {
+		return nil, false
+	}
+	if !e.expires.IsZero() && time.Now().After(e.expires) {
+		p.cacheList.Remove(e.elem)
+		delete(p.cache, key)
+		p.metrics.add(func(m *counters) { m.cacheExpired++ })
+		return nil, false
+	}
+	if p.cfg.CacheLRU {
+		p.cacheList.MoveToBack(e.elem)
+	}
+	return e.res, true
+}
+
+// storeLocked inserts into the cache, evicting from the front of the
+// eviction list (insertion order, or LRU when CacheLRU touches entries on
+// lookup) while over capacity; p.mu must be held.
+func (p *Pool) storeLocked(key string, res *Result, expires time.Time) {
+	if e, ok := p.cache[key]; ok {
+		e.res = res
+		e.expires = expires
+		p.cacheList.MoveToBack(e.elem)
+		return
+	}
+	e := &cacheEntry{key: key, res: res, expires: expires}
+	e.elem = p.cacheList.PushBack(e)
+	p.cache[key] = e
+	for p.cfg.CacheCap > 0 && len(p.cache) > p.cfg.CacheCap {
+		front := p.cacheList.Front()
+		victim := front.Value.(*cacheEntry)
+		p.cacheList.Remove(front)
+		delete(p.cache, victim.key)
+	}
+}
+
+// Cancel detaches one waiter: the handle settles as canceled immediately,
+// while coalesced peers on the same run keep waiting unharmed. The
+// underlying run is aborted only when its last waiter detaches — a
+// running guest has its context canceled (the preemption check observes
+// it within a few thousand instructions), and a still-queued run is
+// removed from the dedup index at once so a new identical submission
+// starts fresh instead of inheriting a doomed run. Returns false for
+// unknown or already-settled jobs.
 func (p *Pool) Cancel(id string) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -463,22 +675,38 @@ func (p *Pool) Cancel(id string) bool {
 	if !ok {
 		return false
 	}
-	job.canceled = true
-	if job.cancel != nil {
-		job.cancel()
+	r := job.run
+	r.detach(job)
+	p.settleLocked(job, StateCanceled, nil, context.Canceled, time.Now())
+	p.metrics.add(func(m *counters) { m.canceled++ })
+	if len(r.waiters) == 0 {
+		r.canceled = true
+		if r.key != "" && p.inflight[r.key] == r {
+			delete(p.inflight, r.key)
+		}
+		if r.cancel != nil {
+			r.cancel()
+		}
 	}
 	return true
 }
 
-// View snapshots a job for rendering.
+// View snapshots a job for rendering: active jobs live, settled jobs from
+// the retention ring until count or age evicts them.
 func (p *Pool) View(id string) (JobView, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	job, ok := p.jobs[id]
-	if !ok {
-		return JobView{}, false
+	if job, ok := p.jobs[id]; ok {
+		return p.viewLocked(job), true
 	}
-	return p.viewLocked(job), true
+	if rj, ok := p.retained[id]; ok {
+		if !rj.expires.IsZero() && time.Now().After(rj.expires) {
+			p.sweepRetainedLocked(time.Now())
+			return JobView{}, false
+		}
+		return rj.view, true
+	}
+	return JobView{}, false
 }
 
 func (p *Pool) viewLocked(job *Job) JobView {
@@ -503,8 +731,7 @@ func (p *Pool) viewLocked(job *Job) JobView {
 func (p *Pool) ResultByHash(hash string) (*Result, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	res, ok := p.cache[hash]
-	return res, ok
+	return p.lookupCacheLocked(hash)
 }
 
 // Wait blocks until the job finishes or ctx expires, then returns its
@@ -567,17 +794,34 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	cacheEntries := len(p.cache)
 	queued := len(p.queue)
+	active := len(p.jobs)
+	retained := len(p.retained)
+	// Waiters currently sharing a run with at least one peer: everything
+	// beyond the first waiter per in-flight run is a coalesced waiter.
+	perRun := make(map[*run]int, len(p.jobs))
+	for _, job := range p.jobs {
+		perRun[job.run]++
+	}
+	coalescedWaiters := 0
+	for _, n := range perRun {
+		if n > 1 {
+			coalescedWaiters += n - 1
+		}
+	}
 	p.mu.Unlock()
 	return p.metrics.snapshot(snapshotGauges{
-		workers:      p.cfg.Workers,
-		queueDepth:   queued,
-		running:      int(p.running.Load()),
-		cacheEntries: cacheEntries,
+		workers:          p.cfg.Workers,
+		queueDepth:       queued,
+		running:          int(p.running.Load()),
+		cacheEntries:     cacheEntries,
+		jobsActive:       active,
+		jobsRetained:     retained,
+		waitersCoalesced: coalescedWaiters,
 	})
 }
 
-// Close stops accepting work, cancels anything still running, and waits
-// for the workers to exit.
+// Close stops accepting work, cancels anything still running, settles
+// every active waiter as canceled, and waits for the workers to exit.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -585,10 +829,20 @@ func (p *Pool) Close() {
 		return
 	}
 	p.closed = true
+	now := time.Now()
 	for _, job := range p.jobs {
-		job.canceled = true
-		if job.cancel != nil {
-			job.cancel()
+		r := job.run
+		r.detach(job)
+		p.settleLocked(job, StateCanceled, nil, context.Canceled, now)
+		p.metrics.add(func(m *counters) { m.canceled++ })
+		if len(r.waiters) == 0 {
+			r.canceled = true
+			if r.key != "" && p.inflight[r.key] == r {
+				delete(p.inflight, r.key)
+			}
+			if r.cancel != nil {
+				r.cancel()
+			}
 		}
 	}
 	close(p.queue)

@@ -79,8 +79,8 @@ func (e oneShot) OnData(gnet.Flow, []byte) []gnet.Reply { return nil }
 // sink accepts anything and replies nothing (upload targets).
 type sink struct{}
 
-func (sink) OnConnect(gnet.Flow) []gnet.Reply       { return nil }
-func (sink) OnData(gnet.Flow, []byte) []gnet.Reply  { return nil }
+func (sink) OnConnect(gnet.Flow) []gnet.Reply      { return nil }
+func (sink) OnData(gnet.Flow, []byte) []gnet.Reply { return nil }
 
 // chatterbox replies to every send with a scripted response and pushes a
 // banner on connect (C2 servers, benign chat/remote-desktop peers).

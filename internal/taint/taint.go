@@ -156,8 +156,8 @@ type Store struct {
 	pageAllocs uint32
 	// changes counts every shadow byte mutation; see ChangeCount.
 	changes uint64
-	listCap  int
-	stats    Stats
+	listCap int
+	stats   Stats
 
 	// watch, when set, observes every shadow byte change (the lifecycle
 	// tracing hook and the engine's provenance-cache invalidation). It

@@ -66,14 +66,14 @@ func runToHalt(t *testing.T, m *Machine, maxSteps uint64) {
 func TestArithmeticAndFlags(t *testing.T) {
 	b := isa.NewBlock()
 	b.Movi(isa.EAX, 10).Movi(isa.EBX, 3)
-	b.Add(isa.EAX, isa.EBX)  // 13
-	b.Muli(isa.EAX, 2)       // 26
-	b.Subi(isa.EAX, 1)       // 25
-	b.Shli(isa.EAX, 2)       // 100
-	b.Shri(isa.EAX, 1)       // 50
-	b.Xori(isa.EAX, 0xFF)    // 50^255 = 205
-	b.Andi(isa.EAX, 0xF0)    // 192
-	b.Ori(isa.EAX, 0x05)     // 197
+	b.Add(isa.EAX, isa.EBX)         // 13
+	b.Muli(isa.EAX, 2)              // 26
+	b.Subi(isa.EAX, 1)              // 25
+	b.Shli(isa.EAX, 2)              // 100
+	b.Shri(isa.EAX, 1)              // 50
+	b.Xori(isa.EAX, 0xFF)           // 50^255 = 205
+	b.Andi(isa.EAX, 0xF0)           // 192
+	b.Ori(isa.EAX, 0x05)            // 197
 	b.Movi(isa.ECX, 0).Not(isa.ECX) // 0xFFFFFFFF
 	b.Hlt()
 	m := newTestMachine(t, b)
@@ -189,10 +189,10 @@ func TestGetPCIdiom(t *testing.T) {
 // example: str2[j] = lookuptable[str1[j]].
 func TestFigure1LookupTable(t *testing.T) {
 	const (
-		table = dataBase          // 256-byte identity table
-		str1  = dataBase + 0x400  // source string
-		str2  = dataBase + 0x500  // destination
-		n     = 14                // len("Tainted string")
+		table = dataBase         // 256-byte identity table
+		str1  = dataBase + 0x400 // source string
+		str2  = dataBase + 0x500 // destination
+		n     = 14               // len("Tainted string")
 	)
 	b := isa.NewBlock()
 	// Build identity lookup table.
