@@ -54,6 +54,7 @@ func run() int {
 	strict := flag.Bool("strict", false, "enable the StrictExecCheck policy extension")
 	jsonOut := flag.String("json", "", "write the findings as JSON to this file")
 	dotOut := flag.String("dot", "", "write the first finding's provenance graph (Graphviz) to this file")
+	provFormat := flag.String("prov-format", "text", "render the merged provenance graph: text (default, paper-style chains only), json, or dot")
 	timeout := flag.Duration("timeout", 0, "abort the analysis after this wall time (0 = no limit)")
 	flag.Parse()
 
@@ -134,6 +135,18 @@ func run() int {
 	if res.Flagged() {
 		fmt.Println()
 		fmt.Print(res.Faros.TableII())
+	}
+	// -prov-format text keeps the output exactly as before (the report and
+	// Table II already render the chains); json/dot additionally print the
+	// merged provenance graph for downstream tooling.
+	if *provFormat != "text" {
+		body, err := res.ProvGraph().Encode(*provFormat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faros: %v\n", err)
+			return 1
+		}
+		fmt.Println()
+		fmt.Print(body)
 	}
 	st := res.Faros.Stats()
 	fmt.Printf("\ntaint stats: %d tainted bytes, %d lists, %d export-table reads checked\n",

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	farosbench                 # run every experiment
-//	farosbench -exp table3     # run one experiment
-//	farosbench -list           # list experiment names
-//	farosbench -json           # machine-readable per-experiment results
+//	farosbench                      # run every experiment
+//	farosbench -exp table3          # run one experiment
+//	farosbench -exp table2,fig7     # run several (comma-separated)
+//	farosbench -list                # list experiment names
+//	farosbench -json                # machine-readable per-experiment results
+//	farosbench -exp fig7 -prov-format json  # append the provenance graph
 //
 // A failing experiment does not abort the sweep: every experiment runs,
 // and the exit code is non-zero if any of them failed.
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"faros/internal/experiments"
@@ -49,9 +52,10 @@ func runRecovered() (code int) {
 }
 
 func run() int {
-	exp := flag.String("exp", "", "experiment to run (default: all)")
+	exp := flag.String("exp", "", "experiment(s) to run, comma-separated (default: all)")
 	list := flag.Bool("list", false, "list experiment names")
 	jsonOut := flag.Bool("json", false, "emit per-experiment results as JSON on stdout")
+	provFormat := flag.String("prov-format", "text", "provenance graph rendering appended to table2/fig7-10 output: text (none), json, or dot")
 	flag.Parse()
 
 	if *list {
@@ -63,13 +67,18 @@ func run() int {
 
 	names := experiments.Names()
 	if *exp != "" {
-		names = []string{*exp}
+		names = nil
+		for _, n := range strings.Split(*exp, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
 	}
 	results := make([]expResult, 0, len(names))
 	failed := 0
 	for _, name := range names {
 		start := time.Now()
-		out, err := experiments.Run(name)
+		out, err := experiments.RunWith(name, experiments.Options{ProvFormat: *provFormat})
 		r := expResult{Name: name, OK: err == nil, Output: out,
 			WallMS: time.Since(start).Milliseconds()}
 		if err != nil {

@@ -26,6 +26,7 @@ import (
 	"faros/internal/guest/gnet"
 	"faros/internal/isa"
 	"faros/internal/mem"
+	"faros/internal/provgraph"
 	"faros/internal/taint"
 	"faros/internal/vm"
 )
@@ -87,6 +88,12 @@ type Finding struct {
 	// reading, when it can be attributed to one (the §V.A tag-enrichment
 	// extension): the analyst sees which function the payload resolved.
 	ResolvedAPI string
+	// Prov is the finding's provenance graph, built once at flag time: the
+	// instruction-bytes chain (role "instr") and, for rules with a target
+	// read, the loaded bytes' chain (role "target"). Every renderer —
+	// RenderFinding, TableII, JSON/DOT encoders, the farosd endpoint — is a
+	// view over this graph.
+	Prov *provgraph.Graph
 }
 
 // Stats summarizes engine activity for the performance and ablation tables.
@@ -97,6 +104,11 @@ type Stats struct {
 	ExportReads   uint64
 	InstrProvHits uint64 // instruction-provenance cache hits
 	FindingsTotal int
+	// Provenance-graph construction counters (findings and taint-map
+	// regions): graphs built, and nodes/edges across those builds.
+	ProvGraphBuilds uint64
+	ProvGraphNodes  uint64
+	ProvGraphEdges  uint64
 }
 
 // pageTLB is a one-entry software TLB over Space.FrameOf: the engine's
@@ -156,6 +168,9 @@ type FAROS struct {
 	loadsChecked  uint64
 	exportReads   uint64
 	instrProvHits uint64
+	provBuilds    uint64
+	provNodes     uint64
+	provEdges     uint64
 }
 
 var _ guest.TaintBridge = (*FAROS)(nil)
@@ -216,7 +231,46 @@ func (f *FAROS) Stats() Stats {
 		ExportReads:   f.exportReads,
 		InstrProvHits: f.instrProvHits,
 		FindingsTotal: len(f.findings),
+
+		ProvGraphBuilds: f.provBuilds,
+		ProvGraphNodes:  f.provNodes,
+		ProvGraphEdges:  f.provEdges,
 	}
+}
+
+// buildGraph canonicalizes a builder's graph and charges its size to the
+// engine's provenance-graph counters.
+func (f *FAROS) buildGraph(b *provgraph.Builder) *provgraph.Graph {
+	g := b.Graph()
+	f.provBuilds++
+	f.provNodes += uint64(len(g.Nodes))
+	f.provEdges += uint64(len(g.Edges))
+	return g
+}
+
+// findingGraph builds a finding's provenance graph at flag time: the
+// instruction-bytes chain (extent = the fetched instruction size) and, when
+// the rule involves a target read, the loaded bytes' chain (extent =
+// readBytes). Both chains are first seen at the flagging instruction count.
+func (f *FAROS) findingGraph(fd *Finding, readBytes int) {
+	b := provgraph.NewBuilder()
+	b.AddChain(provgraph.RoleInstr, provgraph.NodesFromList(f.T, fd.InstrProv), isa.InstrSize, fd.At)
+	if fd.Rule != RuleForeignCodeExec {
+		b.AddChain(provgraph.RoleTarget, provgraph.NodesFromList(f.T, fd.TargetProv), readBytes, fd.At)
+	}
+	fd.Prov = f.buildGraph(b)
+}
+
+// ProvGraph merges every finding's graph into the run's whole-run
+// provenance graph — what farosd streams from /results/{hash}/prov.
+func (f *FAROS) ProvGraph() *provgraph.Graph {
+	gs := make([]*provgraph.Graph, 0, len(f.findings))
+	for i := range f.findings {
+		if f.findings[i].Prov != nil {
+			gs = append(gs, f.findings[i].Prov)
+		}
+	}
+	return provgraph.Merge(gs...)
 }
 
 // procTag interns the process tag for p (CR3-keyed, as in the paper).
@@ -370,7 +424,7 @@ func (f *FAROS) BeforeInstr(m *vm.Machine, pc uint32, in isa.Instruction) {
 		bank[in.Dst&7] = id
 		f.loadsChecked++
 		if f.T.Has(raw, taint.TagExportTable) {
-			f.checkPolicy(m, pc, in, addr, raw)
+			f.checkPolicy(m, pc, in, addr, raw, size)
 		}
 
 	case isa.OpSt, isa.OpStb:
@@ -517,7 +571,7 @@ func (f *FAROS) strictExecCheck(m *vm.Machine, pc uint32, in isa.Instruction) {
 		return
 	}
 	f.findingSeen[dedup] = struct{}{}
-	f.findings = append(f.findings, Finding{
+	fd := Finding{
 		Rule:      RuleForeignCodeExec,
 		At:        m.InstrCount,
 		PID:       pid,
@@ -525,7 +579,9 @@ func (f *FAROS) strictExecCheck(m *vm.Machine, pc uint32, in isa.Instruction) {
 		InstrAddr: pc,
 		Disasm:    isa.Disasm(in, pc),
 		InstrProv: iProv,
-	})
+	}
+	f.findingGraph(&fd, 0)
+	f.findings = append(f.findings, fd)
 }
 
 // checkPolicy applies the tag-confluence invariants to an export-table
@@ -534,7 +590,7 @@ func (f *FAROS) strictExecCheck(m *vm.Machine, pc uint32, in isa.Instruction) {
 // policy sees exactly what the memory carried. The caller has already
 // established that targetProv carries the export-table tag (the O(1)
 // summary-bit test), so this function only runs on actual export reads.
-func (f *FAROS) checkPolicy(m *vm.Machine, pc uint32, in isa.Instruction, addr uint32, targetProv taint.ProvID) {
+func (f *FAROS) checkPolicy(m *vm.Machine, pc uint32, in isa.Instruction, addr uint32, targetProv taint.ProvID, size int) {
 	f.exportReads++
 
 	space := m.Space()
@@ -572,7 +628,7 @@ func (f *FAROS) checkPolicy(m *vm.Machine, pc uint32, in isa.Instruction, addr u
 			resolved = apiName
 		}
 	}
-	f.findings = append(f.findings, Finding{
+	fd := Finding{
 		Rule:        rule,
 		At:          m.InstrCount,
 		PID:         pid,
@@ -583,7 +639,9 @@ func (f *FAROS) checkPolicy(m *vm.Machine, pc uint32, in isa.Instruction, addr u
 		InstrProv:   iProv,
 		TargetProv:  targetProv,
 		ResolvedAPI: resolved,
-	})
+	}
+	f.findingGraph(&fd, size)
+	f.findings = append(f.findings, fd)
 }
 
 // --- TaintBridge implementation (tag insertion at system activity) ---

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"faros/internal/mem"
+	"faros/internal/provgraph"
 	"faros/internal/taint"
 )
 
@@ -15,34 +17,66 @@ type TaintRegion struct {
 	TaintedBytes int
 	// Sample is the provenance of the first tainted byte, for triage.
 	Sample taint.ProvID
+	// Prov is the sample's provenance as a graph (one chain, role
+	// "region", extent = the region's tainted byte count).
+	Prov *provgraph.Graph
 }
 
 // TaintMap walks every process's address-space map and reports which
 // regions hold tainted bytes — the analyst's "where did network data end
-// up" overview.
+// up" overview. The walk translates once per virtual page and consults the
+// shadow store's per-frame live counter, so untainted pages — the vast
+// majority of any realistic address space — are skipped whole instead of
+// probed byte by byte.
 func (f *FAROS) TaintMap() []TaintRegion {
 	var out []TaintRegion
 	for _, p := range f.k.Processes() {
 		for _, vad := range p.VADs {
 			tr := TaintRegion{PID: p.PID, Proc: p.Name, Region: vad.String()}
-			for off := uint32(0); off < vad.Size; off++ {
-				pa, ok := physAt(p.Space, vad.Base+off)
-				if !ok {
+			for off := uint32(0); off < vad.Size; {
+				va := vad.Base + off
+				chunk := uint32(mem.PageSize) - va%mem.PageSize
+				if rem := vad.Size - off; chunk > rem {
+					chunk = rem
+				}
+				frame, ok := p.Space.FrameOf(va)
+				if !ok || f.T.FrameUntainted(uint64(frame)) {
+					off += chunk // unmapped or clean page: skip it whole
 					continue
 				}
-				if id := f.T.MemGet(pa); id != 0 {
-					if tr.TaintedBytes == 0 {
-						tr.Sample = id
+				base := uint64(frame) << mem.PageShift
+				for i := uint32(0); i < chunk; i++ {
+					if id := f.T.MemGet(base | uint64((va+i)%mem.PageSize)); id != 0 {
+						if tr.TaintedBytes == 0 {
+							tr.Sample = id
+						}
+						tr.TaintedBytes++
 					}
-					tr.TaintedBytes++
 				}
+				off += chunk
 			}
 			if tr.TaintedBytes > 0 {
+				b := provgraph.NewBuilder()
+				b.AddChain(provgraph.RoleRegion, provgraph.NodesFromList(f.T, tr.Sample), tr.TaintedBytes, 0)
+				tr.Prov = f.buildGraph(b)
 				out = append(out, tr)
 			}
 		}
 	}
 	return out
+}
+
+// provText renders one provenance chain from a graph, falling back to the
+// taint store's list renderer when the graph is absent (findings built by
+// hand in tests). Both paths produce identical bytes: graph labels are the
+// store's own tag renderings in the same chronological order.
+func (f *FAROS) provText(g *provgraph.Graph, role string, fallback taint.ProvID) string {
+	if g != nil {
+		if ts := g.ChainText(role); len(ts) == 1 {
+			return ts[0]
+		}
+	}
+	return f.T.Render(fallback)
 }
 
 // RenderTaintMap renders the taint map as text.
@@ -51,20 +85,21 @@ func (f *FAROS) RenderTaintMap() string {
 	sb.WriteString("Taint map (regions holding tainted bytes):\n")
 	for _, tr := range f.TaintMap() {
 		fmt.Fprintf(&sb, "  %s(%d) %s: %d tainted bytes, e.g. %s\n",
-			tr.Proc, tr.PID, tr.Region, tr.TaintedBytes, f.T.Render(tr.Sample))
+			tr.Proc, tr.PID, tr.Region, tr.TaintedBytes, f.provText(tr.Prov, provgraph.RoleRegion, tr.Sample))
 	}
 	return sb.String()
 }
 
 // RenderFinding renders one finding with its provenance chains, in the
-// style of the paper's Figures 7–10.
+// style of the paper's Figures 7–10. It is a thin view over the finding's
+// provenance graph.
 func (f *FAROS) RenderFinding(fd Finding) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "[%s] in %s(%d) at instr %d\n", fd.Rule, fd.ProcName, fd.PID, fd.At)
 	fmt.Fprintf(&sb, "  instruction 0x%08X: %s\n", fd.InstrAddr, fd.Disasm)
-	fmt.Fprintf(&sb, "  instruction provenance: %s\n", f.T.Render(fd.InstrProv))
+	fmt.Fprintf(&sb, "  instruction provenance: %s\n", f.provText(fd.Prov, provgraph.RoleInstr, fd.InstrProv))
 	if fd.Rule != RuleForeignCodeExec {
-		fmt.Fprintf(&sb, "  reads 0x%08X tagged:    %s\n", fd.TargetAddr, f.T.Render(fd.TargetProv))
+		fmt.Fprintf(&sb, "  reads 0x%08X tagged:    %s\n", fd.TargetAddr, f.provText(fd.Prov, provgraph.RoleTarget, fd.TargetProv))
 	}
 	if fd.ResolvedAPI != "" {
 		fmt.Fprintf(&sb, "  resolving API:          %s\n", fd.ResolvedAPI)
@@ -91,7 +126,7 @@ func (f *FAROS) TableII() string {
 	var sb strings.Builder
 	sb.WriteString("Memory Address  Provenance List\n")
 	for _, fd := range f.findings {
-		fmt.Fprintf(&sb, "0x%08X      %s\n", fd.InstrAddr, f.T.Render(fd.InstrProv))
+		fmt.Fprintf(&sb, "0x%08X      %s\n", fd.InstrAddr, f.provText(fd.Prov, provgraph.RoleInstr, fd.InstrProv))
 	}
 	return sb.String()
 }

@@ -12,6 +12,7 @@ import (
 
 	"faros/internal/core"
 	"faros/internal/pipeline"
+	"faros/internal/provgraph"
 	"faros/internal/report"
 	"faros/internal/samples"
 	"faros/internal/scenario"
@@ -53,14 +54,21 @@ func Detection() (string, error) {
 // DLL injection — flagged instruction addresses with their provenance
 // lists.
 func TableII() (string, error) {
+	out, _, err := tableIIWithGraph()
+	return out, err
+}
+
+// tableIIWithGraph renders Table II and also returns the run's merged
+// provenance graph (the structured source the text is a view over).
+func tableIIWithGraph() (string, *provgraph.Graph, error) {
 	res, err := scenario.Detect(samples.ReflectiveDLLInject())
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	if !res.Flagged() {
-		return "", fmt.Errorf("reflective injection not flagged")
+		return "", nil, fmt.Errorf("reflective injection not flagged")
 	}
-	return "Table II — FAROS output for reflective DLL injection\n" + res.Faros.TableII(), nil
+	return "Table II — FAROS output for reflective DLL injection\n" + res.Faros.TableII(), res.ProvGraph(), nil
 }
 
 // figureSpec maps figure numbers to their scenarios.
@@ -81,22 +89,29 @@ func figureSpec(n int) (samples.Spec, string, error) {
 // Figure reproduces one of Figures 7–10: the provenance chain captured for
 // the flagged instruction.
 func Figure(n int) (string, error) {
+	out, _, err := figureWithGraph(n)
+	return out, err
+}
+
+// figureWithGraph renders one figure and also returns the flagged
+// finding's provenance graph.
+func figureWithGraph(n int) (string, *provgraph.Graph, error) {
 	spec, title, err := figureSpec(n)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	res, err := scenario.Detect(spec)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	if !res.Flagged() {
-		return "", fmt.Errorf("%s: not flagged", spec.Name)
+		return "", nil, fmt.Errorf("%s: not flagged", spec.Name)
 	}
 	fd := res.Faros.Findings()[0]
 	var sb strings.Builder
 	sb.WriteString(title + "\n")
 	sb.WriteString(res.Faros.RenderFinding(fd))
-	return sb.String(), nil
+	return sb.String(), fd.Prov, nil
 }
 
 // TableIII reproduces the JIT false-positive analysis: 10 Java applets and
@@ -423,6 +438,46 @@ var order = []string{
 
 // Names returns the experiment identifiers.
 func Names() []string { return append([]string(nil), order...) }
+
+// Options tunes how RunWith renders an experiment.
+type Options struct {
+	// ProvFormat additionally renders the experiment's provenance graph
+	// after the classic text output: "json" or "dot". "" or "text" keeps
+	// the output exactly as Run produces it (the figures and Table II
+	// already render the chains as text). Experiments without a provenance
+	// graph (the sweeps and ablations) ignore it.
+	ProvFormat string
+}
+
+// RunWith executes one named experiment with rendering options.
+func RunWith(name string, opts Options) (string, error) {
+	var (
+		out string
+		g   *provgraph.Graph
+		err error
+	)
+	switch name {
+	case "table2":
+		out, g, err = tableIIWithGraph()
+	case "fig7", "fig8", "fig9", "fig10":
+		var n int
+		fmt.Sscanf(name, "fig%d", &n)
+		out, g, err = figureWithGraph(n)
+	default:
+		out, err = Run(name)
+	}
+	if err != nil {
+		return "", err
+	}
+	if g == nil || opts.ProvFormat == "" || opts.ProvFormat == "text" {
+		return out, nil
+	}
+	body, err := g.Encode(opts.ProvFormat)
+	if err != nil {
+		return "", err
+	}
+	return out + "\n" + body, nil
+}
 
 // Run executes one named experiment.
 func Run(name string) (string, error) {

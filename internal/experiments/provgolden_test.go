@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"faros/internal/provgraph"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden provenance graphs")
+
+// goldenGraphs runs Table II and Figures 7–10 and returns their graphs.
+func goldenGraphs(t *testing.T) map[string]*provgraph.Graph {
+	t.Helper()
+	out := map[string]*provgraph.Graph{}
+	_, g, err := tableIIWithGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["table2"] = g
+	for _, n := range []int{7, 8, 9, 10} {
+		_, g, err := figureWithGraph(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["fig"+itoa(n)] = g
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 10 {
+		return "10"
+	}
+	return string(rune('0' + n))
+}
+
+// TestProvGraphGolden pins the JSON and DOT encodings of the paper-figure
+// provenance graphs. The scenarios are deterministic, so any drift here
+// means the graph builder, canonical ordering, or an encoder changed —
+// regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestProvGraphGolden -update-golden
+func TestProvGraphGolden(t *testing.T) {
+	graphs := goldenGraphs(t)
+	for name, g := range graphs {
+		for ext, render := range map[string]func() (string, error){
+			"json": func() (string, error) { b, err := g.JSON(); return string(b) + "\n", err },
+			"dot":  func() (string, error) { return g.DOT(), nil },
+		} {
+			path := filepath.Join("testdata", "prov_"+name+"."+ext)
+			got, err := render()
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%s: %v (run with -update-golden to create)", path, err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from golden; rerun with -update-golden if intended\n got:\n%s\nwant:\n%s",
+					path, got, want)
+			}
+		}
+	}
+
+	// The golden JSON must round-trip through the decoder into the same
+	// canonical graph the run produced.
+	for name, g := range graphs {
+		data, err := g.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := provgraph.FromJSON(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !g.Contains(back) || !back.Contains(g) {
+			t.Errorf("%s: decoded graph not equivalent", name)
+		}
+	}
+}
+
+// TestFigureTextIsGraphChain locks the bit-identical guarantee at the
+// experiment level: the figure's rendered "instruction provenance" line is
+// exactly the graph's instr chain text.
+func TestFigureTextIsGraphChain(t *testing.T) {
+	for _, n := range []int{7, 8, 9, 10} {
+		text, g, err := figureWithGraph(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chains := g.ChainText(provgraph.RoleInstr)
+		if len(chains) != 1 {
+			t.Fatalf("fig%d: %d instr chains", n, len(chains))
+		}
+		if want := "instruction provenance: " + chains[0]; !containsLine(text, want) {
+			t.Errorf("fig%d text does not embed the graph chain %q:\n%s", n, chains[0], text)
+		}
+	}
+}
+
+func containsLine(text, needle string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.TrimSpace(line) == needle {
+			return true
+		}
+	}
+	return false
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"faros/internal/core"
+	"faros/internal/provgraph"
 	"faros/internal/samples"
 )
 
@@ -103,6 +104,8 @@ func (sc ServerConfig) resolveSpec(req AnalyzeRequest) (samples.Spec, error) {
 //	                       retention ring until count/age evicts them → 404)
 //	POST /jobs/{id}/cancel detach this waiter (coalesced peers unaffected)
 //	GET  /results/{hash}   cached result by cache key
+//	GET  /results/{hash}/prov?format=json|dot|text
+//	                       the result's merged provenance graph
 //	GET  /metrics          Prometheus text exposition
 //	GET  /stats            Stats snapshot as JSON
 //	GET  /scenarios        scenario namespace
@@ -206,6 +209,34 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("GET /results/{hash}/prov", func(w http.ResponseWriter, r *http.Request) {
+		res, ok := p.ResultByHash(r.PathValue("hash"))
+		if !ok {
+			writeErr(w, &httpError{http.StatusNotFound, "no cached result for " + r.PathValue("hash")})
+			return
+		}
+		format := r.URL.Query().Get("format")
+		if format == "" {
+			format = "json"
+		}
+		g := res.Prov
+		if g == nil {
+			g = provgraph.Merge() // clean run: canonical empty graph
+		}
+		body, err := g.Encode(format)
+		if err != nil {
+			writeErr(w, &httpError{http.StatusBadRequest, err.Error()})
+			return
+		}
+		switch format {
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		}
+		fmt.Fprint(w, body)
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {

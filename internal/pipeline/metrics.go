@@ -54,6 +54,7 @@ type counters struct {
 	findings             map[string]uint64
 	lat                  *histogram
 	taint                TaintStats
+	prov                 ProvStats
 }
 
 // TaintStats aggregates the taint engine's fast-path counters across
@@ -71,6 +72,15 @@ type TaintStats struct {
 	InstrProvHits   uint64 `json:"instr_prov_hits"`
 	TaintedBytes    uint64 `json:"tainted_bytes"`
 	TaintedPages    uint64 `json:"tainted_pages"`
+}
+
+// ProvStats aggregates provenance-graph construction across completed
+// FAROS jobs: graphs built (findings and taint-map regions) and the nodes
+// and edges those builds produced.
+type ProvStats struct {
+	Builds uint64 `json:"builds"`
+	Nodes  uint64 `json:"nodes"`
+	Edges  uint64 `json:"edges"`
 }
 
 type metrics struct {
@@ -142,6 +152,7 @@ type Stats struct {
 	Instructions   uint64            `json:"instructions"`
 	FindingsByRule map[string]uint64 `json:"findings_by_rule,omitempty"`
 	Taint          TaintStats        `json:"taint"`
+	Prov           ProvStats         `json:"prov"`
 
 	LatencyCount   uint64          `json:"latency_count"`
 	LatencySum     time.Duration   `json:"latency_sum_ns"`
@@ -173,6 +184,7 @@ func (m *metrics) snapshot(g snapshotGauges) Stats {
 		Instructions:         m.c.instructions,
 		FindingsByRule:       make(map[string]uint64, len(m.c.findings)),
 		Taint:                m.c.taint,
+		Prov:                 m.c.prov,
 		LatencyCount:         m.c.lat.n,
 		LatencySum:           time.Duration(m.c.lat.sum * float64(time.Second)),
 	}
@@ -222,6 +234,9 @@ func (s Stats) String() string {
 			t.Prepends, 100*rate(t.PrependMemoHits, t.Prepends),
 			t.Unions, 100*rate(t.UnionMemoHits, t.Unions),
 			t.ShadowWrites, t.RangeFastSkips, t.InstrProvHits)
+	}
+	if p := s.Prov; p.Builds > 0 {
+		fmt.Fprintf(&sb, "provgraph: %d graphs built (%d nodes, %d edges)\n", p.Builds, p.Nodes, p.Edges)
 	}
 	if len(s.FindingsByRule) > 0 {
 		rules := make([]string, 0, len(s.FindingsByRule))
@@ -281,6 +296,9 @@ func (s Stats) Prometheus() string {
 	counter("faros_taint_instr_prov_hits_total", "Instruction-provenance cache hits across completed FAROS jobs.", s.Taint.InstrProvHits)
 	counter("faros_taint_tainted_bytes_total", "Shadow bytes still tainted at the end of completed jobs.", s.Taint.TaintedBytes)
 	counter("faros_taint_tainted_pages_total", "Shadow pages still tainted at the end of completed jobs.", s.Taint.TaintedPages)
+	counter("faros_provgraph_build_total", "Provenance graphs built by completed FAROS jobs.", s.Prov.Builds)
+	counter("faros_provgraph_nodes_total", "Nodes across built provenance graphs.", s.Prov.Nodes)
+	counter("faros_provgraph_edges_total", "Edges across built provenance graphs.", s.Prov.Edges)
 
 	fmt.Fprintf(&sb, "# HELP faros_findings_total Findings reported by completed jobs, by rule.\n# TYPE faros_findings_total counter\n")
 	rules := make([]string, 0, len(s.FindingsByRule))

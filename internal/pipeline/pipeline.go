@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"faros/internal/core"
+	"faros/internal/provgraph"
 	"faros/internal/samples"
 	"faros/internal/scenario"
 )
@@ -76,12 +77,16 @@ const (
 	StateCanceled State = "canceled"
 )
 
-// Finding is the service-level view of one flagged injection event.
+// Finding is the service-level view of one flagged injection event. Prov
+// is the finding's provenance graph, carried structured all the way from
+// flag time so API consumers can query it instead of parsing rendered
+// text.
 type Finding struct {
-	Rule    string `json:"rule"`
-	Process string `json:"process"`
-	PID     uint32 `json:"pid"`
-	API     string `json:"api,omitempty"`
+	Rule    string           `json:"rule"`
+	Process string           `json:"process"`
+	PID     uint32           `json:"pid"`
+	API     string           `json:"api,omitempty"`
+	Prov    *provgraph.Graph `json:"prov,omitempty"`
 }
 
 // Result is the cacheable outcome of a completed job.
@@ -98,6 +103,10 @@ type Result struct {
 	// Degraded results are not deterministic, so the cache skips them
 	// (or holds them only briefly — see Config.DegradedTTL).
 	Degraded string `json:"degraded,omitempty"`
+
+	// Prov is the run's merged provenance graph (the union of every
+	// finding's graph); set when the run flagged anything.
+	Prov *provgraph.Graph `json:"prov,omitempty"`
 
 	// Raw is the full scenario result for in-process consumers (the
 	// experiment sweeps); it is never serialized.
@@ -485,6 +494,9 @@ func (p *Pool) finishRunLocked(r *run, res *scenario.Result, err error) {
 				m.taint.InstrProvHits += ts.InstrProvHits
 				m.taint.TaintedBytes += uint64(ts.Taint.TaintedBytes)
 				m.taint.TaintedPages += uint64(ts.Taint.TaintedPages)
+				m.prov.Builds += ts.ProvGraphBuilds
+				m.prov.Nodes += ts.ProvGraphNodes
+				m.prov.Edges += ts.ProvGraphEdges
 			}
 			m.lat.observe(wall.Seconds())
 		})
@@ -567,7 +579,11 @@ func buildResult(r *run, res *scenario.Result) *Result {
 				Process: f.ProcName,
 				PID:     f.PID,
 				API:     f.ResolvedAPI,
+				Prov:    f.Prov,
 			})
+		}
+		if out.Flagged {
+			out.Prov = res.Faros.ProvGraph()
 		}
 	}
 	return out

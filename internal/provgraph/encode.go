@@ -1,0 +1,135 @@
+package provgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// MarshalJSON encodes the kind as its name so graphs are self-describing
+// on the wire ("process" rather than 2).
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON accepts the kind name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	kk, ok := kindFromString(s)
+	if !ok {
+		return fmt.Errorf("provgraph: unknown kind %q", s)
+	}
+	*k = kk
+	return nil
+}
+
+// ChainText renders every chain with the given role in the paper's
+// chronological style — "NetFlow: {...} ->Process: a.exe;" — one chain per
+// returned element. A finding graph has exactly one chain per role, so
+// callers that need the single rendering take [0].
+func (g *Graph) ChainText(role string) []string {
+	var out []string
+	for _, c := range g.Chains {
+		if c.Role != role {
+			continue
+		}
+		out = append(out, g.chainText(c))
+	}
+	return out
+}
+
+func (g *Graph) chainText(c Chain) string {
+	if len(c.Nodes) == 0 {
+		return "<untainted>"
+	}
+	parts := make([]string, len(c.Nodes))
+	for i, ni := range c.Nodes {
+		parts[i] = g.Nodes[ni].Label
+	}
+	return strings.Join(parts, " ->") + ";"
+}
+
+// Text renders the whole graph as the paper-style summary: a node/edge
+// count header followed by every chain, grouped by role in canonical
+// order.
+func (g *Graph) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "provenance graph: %d nodes, %d edges, %d chains\n",
+		len(g.Nodes), len(g.Edges), len(g.Chains))
+	for _, c := range g.Chains {
+		fmt.Fprintf(&sb, "  [%s] %s\n", c.Role, g.chainText(c))
+	}
+	return sb.String()
+}
+
+// JSON encodes the graph as indented JSON.
+func (g *Graph) JSON() ([]byte, error) {
+	return json.MarshalIndent(g, "", "  ")
+}
+
+// FromJSON decodes and validates a graph previously encoded with JSON.
+func FromJSON(data []byte) (*Graph, error) {
+	var g Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.Nodes == nil {
+		g.Nodes = []Node{}
+	}
+	if g.Edges == nil {
+		g.Edges = []Edge{}
+	}
+	if g.Chains == nil {
+		g.Chains = []Chain{}
+	}
+	return &g, nil
+}
+
+// DOT renders the graph as a deterministic Graphviz digraph: nodes in
+// canonical order with kind-specific shapes, edges labelled with their tag
+// type, byte extent, and first-seen instruction count.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph provgraph {\n")
+	sb.WriteString("  rankdir=LR;\n")
+	sb.WriteString("  node [fontname=\"monospace\"];\n")
+	for i, n := range g.Nodes {
+		shape := "box"
+		switch n.Kind {
+		case KindNetflow:
+			shape = "ellipse"
+		case KindExportTable:
+			shape = "cylinder"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q shape=%s];\n", i, n.Label, shape)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&sb, "  n%d -> n%d [label=%q];\n",
+			e.From, e.To, fmt.Sprintf("%s %dB @%d x%d", e.Type, e.Bytes, e.FirstSeen, e.Count))
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Encode renders the graph in the named format: "text", "json", or "dot".
+func (g *Graph) Encode(format string) (string, error) {
+	switch format {
+	case "text":
+		return g.Text(), nil
+	case "json":
+		b, err := g.JSON()
+		if err != nil {
+			return "", err
+		}
+		return string(b) + "\n", nil
+	case "dot":
+		return g.DOT(), nil
+	}
+	return "", fmt.Errorf("provgraph: unknown format %q (want text, json, or dot)", format)
+}

@@ -1,0 +1,239 @@
+package provgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"faros/internal/taint"
+)
+
+func nfNode(src string, sp uint16, dst string, dp uint16) Node {
+	return Node{
+		Kind:    KindNetflow,
+		Label:   "NetFlow: {src ip,port: " + src + ":1, dest ip,port: " + dst + ":2}",
+		Netflow: &Netflow{SrcIP: src, SrcPort: sp, DstIP: dst, DstPort: dp},
+	}
+}
+
+func procNode(name string, cr3, pid uint32) Node {
+	return Node{Kind: KindProcess, Label: "Process: " + name, Process: &Process{CR3: cr3, PID: pid, Name: name}}
+}
+
+func fileNode(name string, ver uint32) Node {
+	return Node{Kind: KindFile, Label: "File: " + name, File: &File{Name: name, Version: ver}}
+}
+
+func TestBuilderDedupAndCanonicalOrder(t *testing.T) {
+	b := NewBuilder()
+	nf := nfNode("1.2.3.4", 80, "5.6.7.8", 443)
+	pa := procNode("a.exe", 0x1000, 4)
+	pb := procNode("b.exe", 0x2000, 8)
+	b.AddChain(RoleInstr, []Node{nf, pa, pb}, 4, 100)
+	b.AddChain(RoleTarget, []Node{nf, pa}, 8, 50)
+	g := b.Graph()
+
+	if len(g.Nodes) != 3 {
+		t.Fatalf("want 3 deduped nodes, got %d", len(g.Nodes))
+	}
+	if len(g.Edges) != 2 {
+		t.Fatalf("want 2 edges, got %d", len(g.Edges))
+	}
+	for i := 1; i < len(g.Nodes); i++ {
+		if g.Nodes[i-1].Key() >= g.Nodes[i].Key() {
+			t.Fatalf("nodes not sorted by key at %d", i)
+		}
+	}
+	// The nf->pa edge was seen in both chains: count 2, earliest firstSeen,
+	// largest extent.
+	var shared *Edge
+	for i, e := range g.Edges {
+		if g.Nodes[e.From].Kind == KindNetflow {
+			shared = &g.Edges[i]
+		}
+	}
+	if shared == nil || shared.Count != 2 || shared.FirstSeen != 50 || shared.Bytes != 8 {
+		t.Fatalf("shared edge merge wrong: %+v", shared)
+	}
+	if len(g.Chains) != 2 {
+		t.Fatalf("want 2 chains, got %d", len(g.Chains))
+	}
+}
+
+func TestChainTextMatchesTaintRender(t *testing.T) {
+	s := taint.NewStore(8)
+	nf := s.InternNetflow(taint.NetflowTag{SrcIP: "10.0.0.9", SrcPort: 4444, DstIP: "192.168.1.5", DstPort: 1037})
+	id := s.Single(nf)
+	id = s.Prepend(id, s.InternProcess(0x3000, 912, "explorer.exe"))
+	id = s.Prepend(id, s.InternProcess(0x4000, 2044, "svchost.exe"))
+	id = s.Prepend(id, s.InternFile("evil.dll", 1))
+
+	b := NewBuilder()
+	b.AddChain(RoleInstr, NodesFromList(s, id), 4, 7)
+	g := b.Graph()
+	got := g.ChainText(RoleInstr)
+	if len(got) != 1 {
+		t.Fatalf("want one instr chain, got %d", len(got))
+	}
+	if want := s.Render(id); got[0] != want {
+		t.Fatalf("chain text drifted from taint render:\n got  %q\n want %q", got[0], want)
+	}
+}
+
+func TestUntaintedChainText(t *testing.T) {
+	b := NewBuilder()
+	b.AddChain(RoleTarget, nil, 0, 0)
+	g := b.Graph()
+	got := g.ChainText(RoleTarget)
+	if len(got) != 1 || got[0] != "<untainted>" {
+		t.Fatalf("want [<untainted>], got %q", got)
+	}
+}
+
+// randomGraph builds a random but valid graph through the builder, so it
+// is always in canonical form.
+func randomGraph(rng *rand.Rand) *Graph {
+	pool := []Node{
+		nfNode("1.1.1.1", 1, "2.2.2.2", 2),
+		nfNode("3.3.3.3", 3, "4.4.4.4", 4),
+		procNode("a.exe", 0x1000, 1),
+		procNode("b.exe", 0x2000, 2),
+		procNode("c.exe", 0x3000, 3),
+		fileNode("x.dll", 1),
+		fileNode("x.dll", 2),
+		{Kind: KindExportTable, Label: "ExportTable"},
+	}
+	roles := []string{RoleInstr, RoleTarget, RoleRegion}
+	b := NewBuilder()
+	for c := rng.Intn(6); c >= 0; c-- {
+		n := 1 + rng.Intn(4)
+		chain := make([]Node, n)
+		for i := range chain {
+			chain[i] = pool[rng.Intn(len(pool))]
+		}
+		b.AddChain(roles[rng.Intn(len(roles))], chain, 1+rng.Intn(4096), uint64(rng.Intn(100000)))
+	}
+	return b.Graph()
+}
+
+func TestJSONRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xFA405))
+	for i := 0; i < 200; i++ {
+		g := randomGraph(rng)
+		data, err := g.JSON()
+		if err != nil {
+			t.Fatalf("iter %d: JSON: %v", i, err)
+		}
+		back, err := FromJSON(data)
+		if err != nil {
+			t.Fatalf("iter %d: FromJSON: %v", i, err)
+		}
+		if !reflect.DeepEqual(g, back) {
+			t.Fatalf("iter %d: round trip drift:\n got  %+v\n want %+v", i, back, g)
+		}
+	}
+}
+
+func TestMergeContainmentProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xFA405 + 1))
+	for i := 0; i < 200; i++ {
+		gs := make([]*Graph, 2+rng.Intn(3))
+		for j := range gs {
+			gs[j] = randomGraph(rng)
+		}
+		m := Merge(gs...)
+		for j, g := range gs {
+			if !m.Contains(g) {
+				t.Fatalf("iter %d: merged graph does not contain input %d", i, j)
+			}
+		}
+		// Merge is commutative: reversed input order yields the same
+		// canonical graph.
+		rev := make([]*Graph, len(gs))
+		for j := range gs {
+			rev[j] = gs[len(gs)-1-j]
+		}
+		if m2 := Merge(rev...); !reflect.DeepEqual(m, m2) {
+			t.Fatalf("iter %d: merge not commutative", i)
+		}
+		// Re-merging a canonical graph alone is the identity (edge counts
+		// sum across inputs, so self-merge is deliberately NOT identity).
+		if m3 := Merge(m); !reflect.DeepEqual(m, m3) {
+			t.Fatalf("iter %d: single-input merge not identity", i)
+		}
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	g := Merge()
+	if g.Nodes == nil || g.Edges == nil || g.Chains == nil {
+		t.Fatal("empty merge must have non-nil slices")
+	}
+	data, err := g.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "null") {
+		t.Fatalf("empty graph serializes null slices: %s", data)
+	}
+}
+
+func TestFromJSONRejectsInvalid(t *testing.T) {
+	for _, bad := range []string{
+		`{"nodes":[{"kind":"process","label":"p"}],"edges":[{"from":0,"to":5,"type":"process","bytes":1,"first_seen":0,"count":1}]}`,
+		`{"nodes":[{"kind":"wat","label":"p"}]}`,
+		`{"nodes":[],"chains":[{"role":"instr","nodes":[0]}]}`,
+	} {
+		if _, err := FromJSON([]byte(bad)); err == nil {
+			t.Fatalf("accepted invalid graph %s", bad)
+		}
+	}
+}
+
+func TestEncodeFormats(t *testing.T) {
+	b := NewBuilder()
+	b.AddChain(RoleInstr, []Node{nfNode("1.2.3.4", 80, "5.6.7.8", 443), procNode("a.exe", 0x1000, 4)}, 4, 9)
+	g := b.Graph()
+
+	text, err := g.Encode("text")
+	if err != nil || !strings.Contains(text, "[instr]") {
+		t.Fatalf("text encode: %v %q", err, text)
+	}
+	dot, err := g.Encode("dot")
+	if err != nil || !strings.HasPrefix(dot, "digraph provgraph {") || !strings.Contains(dot, "rankdir=LR") {
+		t.Fatalf("dot encode: %v %q", err, dot)
+	}
+	if !strings.Contains(dot, "shape=ellipse") || !strings.Contains(dot, "shape=box") {
+		t.Fatalf("dot shapes missing: %q", dot)
+	}
+	js, err := g.Encode("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromJSON([]byte(js)); err != nil {
+		t.Fatalf("json encode not decodable: %v", err)
+	}
+	if _, err := g.Encode("yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestAddGraphMergesEdgeStats(t *testing.T) {
+	mk := func(bytes int, seen uint64) *Graph {
+		b := NewBuilder()
+		b.AddChain(RoleInstr, []Node{procNode("a.exe", 1, 1), procNode("b.exe", 2, 2)}, bytes, seen)
+		return b.Graph()
+	}
+	m := Merge(mk(4, 100), mk(16, 20))
+	if len(m.Edges) != 1 {
+		t.Fatalf("want 1 merged edge, got %d", len(m.Edges))
+	}
+	e := m.Edges[0]
+	if e.Bytes != 16 || e.FirstSeen != 20 || e.Count != 2 {
+		t.Fatalf("edge merge wrong: %+v", e)
+	}
+	if len(m.Chains) != 1 {
+		t.Fatalf("identical chains must dedup, got %d", len(m.Chains))
+	}
+}

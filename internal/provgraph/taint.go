@@ -1,0 +1,43 @@
+package provgraph
+
+import "faros/internal/taint"
+
+// NodesFromList converts an interned provenance list into graph nodes,
+// oldest activity first (the list is stored newest-first; this matches the
+// chronological order Store.Render uses). Labels are set to the store's
+// own tag rendering, so joining them reproduces Render(id) byte for byte.
+func NodesFromList(s *taint.Store, id taint.ProvID) []Node {
+	tags := s.Tags(id)
+	if len(tags) == 0 {
+		return nil
+	}
+	nodes := make([]Node, 0, len(tags))
+	for i := len(tags) - 1; i >= 0; i-- {
+		nodes = append(nodes, nodeFromTag(s, tags[i]))
+	}
+	return nodes
+}
+
+func nodeFromTag(s *taint.Store, t taint.Tag) Node {
+	n := Node{Label: s.TagString(t)}
+	switch t.Type {
+	case taint.TagNetflow:
+		n.Kind = KindNetflow
+		if nf, ok := s.Netflow(t.Index); ok {
+			n.Netflow = &Netflow{SrcIP: nf.SrcIP, SrcPort: nf.SrcPort, DstIP: nf.DstIP, DstPort: nf.DstPort}
+		}
+	case taint.TagProcess:
+		n.Kind = KindProcess
+		if p, ok := s.Process(t.Index); ok {
+			n.Process = &Process{CR3: p.CR3, PID: p.PID, Name: p.Name}
+		}
+	case taint.TagFile:
+		n.Kind = KindFile
+		if f, ok := s.File(t.Index); ok {
+			n.File = &File{Name: f.Name, Version: f.Version}
+		}
+	case taint.TagExportTable:
+		n.Kind = KindExportTable
+	}
+	return n
+}

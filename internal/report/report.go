@@ -19,13 +19,20 @@ func New(title string, headers ...string) *Table {
 	return &Table{Title: title, Headers: headers}
 }
 
-// Add appends a row; values are stringified with %v.
+// Add appends a row. Numeric cells are normalized: floats render with two
+// decimals regardless of width (float32 included, so a float32 ratio does
+// not print a dozen noise digits), all integer types render base-10, and
+// everything else falls through to %v.
 func (t *Table) Add(cells ...interface{}) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
 			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", float64(v))
+		case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64, uintptr:
+			row[i] = fmt.Sprintf("%d", v)
 		default:
 			row[i] = fmt.Sprintf("%v", v)
 		}

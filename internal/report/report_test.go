@@ -38,3 +38,24 @@ func TestTableFloatsAndHelpers(t *testing.T) {
 		t.Error("YesNo broken")
 	}
 }
+
+// TestTableNumericNormalization locks the numeric formatting contract:
+// float32 and float64 both render with two decimals, every integer type
+// renders base-10 with no type-dependent noise, and non-numerics keep %v.
+func TestTableNumericNormalization(t *testing.T) {
+	tbl := New("", "A", "B", "C", "D", "E", "F", "G")
+	tbl.Add(float32(1.5), 1.5, uint8(7), int64(-3), uint64(1<<40), int16(12), "txt")
+	row := tbl.Rows[0]
+	want := []string{"1.50", "1.50", "7", "-3", "1099511627776", "12", "txt"}
+	for i, w := range want {
+		if row[i] != w {
+			t.Errorf("cell %d = %q, want %q", i, row[i], w)
+		}
+	}
+	// float32 must not leak float32-printing noise digits.
+	tbl2 := New("", "V")
+	tbl2.Add(float32(0.1) * 3)
+	if got := tbl2.Rows[0][0]; got != "0.30" {
+		t.Errorf("float32 cell = %q, want 0.30", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"faros/internal/faults"
 	"faros/internal/guest"
 	"faros/internal/osi"
+	"faros/internal/provgraph"
 	"faros/internal/record"
 	"faros/internal/samples"
 )
@@ -99,6 +100,25 @@ type Result struct {
 // Flagged reports whether FAROS flagged the run (false when FAROS was not
 // attached).
 func (r *Result) Flagged() bool { return r.Faros != nil && r.Faros.Flagged() }
+
+// Findings returns the run's structured findings (nil when FAROS was not
+// attached). Each finding carries its provenance graph, built at flag time.
+func (r *Result) Findings() []core.Finding {
+	if r.Faros == nil {
+		return nil
+	}
+	return r.Faros.Findings()
+}
+
+// ProvGraph returns the run's merged provenance graph: the union of every
+// finding's graph in canonical form. It is never nil — a clean run (or one
+// without FAROS) yields the canonical empty graph.
+func (r *Result) ProvGraph() *provgraph.Graph {
+	if r.Faros == nil {
+		return provgraph.Merge()
+	}
+	return r.Faros.ProvGraph()
+}
 
 // mode selects live versus replay setup.
 type mode struct {
