@@ -1,6 +1,7 @@
 // Command farosd is the analysis service: the scenario engine behind an
 // HTTP JSON API, running jobs on a bounded worker pool with per-job
-// deadlines, result caching keyed by the deterministic spec hash, and a
+// deadlines, result caching keyed by the deterministic spec hash, a
+// crash-safe persistent result store, admission control, and a
 // Prometheus-style metrics endpoint.
 //
 // Usage:
@@ -8,6 +9,15 @@
 //	farosd                         # listen on :7373, GOMAXPROCS workers
 //	farosd -addr :9000 -workers 8 -timeout 30s -cache 1024
 //	farosd -retention 4096 -retention-age 1h -cache-ttl 30m -cache-lru -degraded-ttl 10s
+//	farosd -store-dir /var/lib/faros -store-max-bytes 1073741824 -store-ttl 168h
+//	farosd -rate-limit 50 -rate-burst 100 -shed-threshold 0.8
+//
+// With -store-dir, completed results are persisted with per-entry
+// checksums and atomic writes; a restarted farosd verifies the store,
+// quarantines anything corrupt or torn, and serves every intact entry
+// without re-executing it. With -rate-limit / -shed-threshold, overload
+// sheds new work with 429 + Retry-After while cached and stored results
+// keep serving.
 //
 // API:
 //
@@ -15,11 +25,12 @@
 //	POST /analyze          {"scenario_file": {...}, "mode": "live"}
 //	GET  /jobs/{id}        job status and result (404 once retention expires it)
 //	POST /jobs/{id}/cancel detach this waiter from its job
-//	GET  /results/{hash}   cached result by cache key
+//	GET  /results/{hash}   cached/stored result by cache key
 //	GET  /metrics          Prometheus text exposition
 //	GET  /stats            pipeline.Stats as JSON
 //	GET  /scenarios        built-in scenario namespace
 //	GET  /healthz          liveness
+//	GET  /readyz           readiness (queue saturation, drain, store health)
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 	"faros"
 	"faros/internal/pipeline"
 	"faros/internal/samples"
+	"faros/internal/store"
 )
 
 func main() {
@@ -53,9 +65,39 @@ func run() int {
 	degradedTTL := flag.Duration("degraded-ttl", 0, "cache degraded (partial-failure) results for this long (0 = never cache them)")
 	retention := flag.Int("retention", 0, "terminal jobs kept for GET /jobs/{id} (0 = default 1024, negative disables)")
 	retentionAge := flag.Duration("retention-age", 0, "max age of retained terminal jobs (0 = default 15m, negative = no age limit)")
+	storeDir := flag.String("store-dir", "", "persistent result store directory (empty disables persistence)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "persistent store size bound; oldest entries evicted beyond it (0 = unbounded)")
+	storeTTL := flag.Duration("store-ttl", 0, "persistent store entry TTL (0 = entries never expire)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client sustained submissions/sec (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "per-client burst size (0 = derived from -rate-limit)")
+	shedThreshold := flag.Float64("shed-threshold", 0, "queue saturation fraction at which new work sheds with 429 (0 = default 0.9, negative disables)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max time to drain in-flight jobs at shutdown")
 	flag.Parse()
 
-	pool := pipeline.New(pipeline.Config{
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Config{Dir: *storeDir, MaxBytes: *storeMaxBytes, TTL: *storeTTL})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "farosd: %v\n", err)
+			return 2
+		}
+		ss := st.Stats()
+		fmt.Printf("farosd: store %s: %d entries (%d bytes), %d quarantined at scan\n",
+			*storeDir, ss.Entries, ss.Bytes, ss.CorruptQuarantined)
+	}
+
+	admission := pipeline.AdmissionConfig{
+		RatePerSec:    *rateLimit,
+		Burst:         *rateBurst,
+		ShedThreshold: *shedThreshold,
+	}
+	if err := admission.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "farosd: %v\n", err)
+		return 2
+	}
+
+	pool, err := pipeline.New(pipeline.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		JobTimeout:      *timeout,
@@ -65,13 +107,19 @@ func run() int {
 		DegradedTTL:     *degradedTTL,
 		JobRetention:    *retention,
 		JobRetentionAge: *retentionAge,
+		Store:           st,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "farosd: %v\n", err)
+		return 2
+	}
 	handler := pipeline.NewHandler(pool, pipeline.ServerConfig{
 		Resolve: func(name string) (samples.Spec, bool) {
 			spec, ok := faros.Scenarios()[name]
 			return spec, ok
 		},
-		Names: faros.ScenarioNames,
+		Names:     faros.ScenarioNames,
+		Admission: &admission,
 	})
 	srv := &http.Server{Addr: *addr, Handler: handler}
 
@@ -91,13 +139,24 @@ func run() int {
 		return 1
 	}
 
-	// Stop accepting requests, then drain the pool.
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Graceful shutdown: stop accepting new work (readyz flips not-ready
+	// at once), let in-flight jobs settle and their results flush through
+	// to the store, then tear the pool down and sync the store.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	pool.BeginDrain()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "farosd: shutdown: %v\n", err)
 	}
+	if err := pool.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "farosd: drain: %v (abandoning in-flight jobs)\n", err)
+	}
 	pool.Close()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "farosd: store close: %v\n", err)
+		}
+	}
 	fmt.Print(pool.Stats().String())
 	return 0
 }

@@ -26,7 +26,13 @@ func pool() *pipeline.Pool {
 		// Retention is off: RunAll consumes results through its own
 		// waiter handles, so keeping terminal JobViews around would only
 		// hold sweep output alive across experiments.
-		sweepPool = pipeline.New(pipeline.Config{JobRetention: -1})
+		p, err := pipeline.New(pipeline.Config{JobRetention: -1})
+		if err != nil {
+			// The static config above is valid; this is unreachable
+			// short of a pipeline bug.
+			panic(err)
+		}
+		sweepPool = p
 	})
 	return sweepPool
 }

@@ -1,0 +1,224 @@
+// Filesystem fault injection for the persistent result store. The store
+// writes entries atomically (temp file → write → fsync → rename → dir
+// fsync); each step is a distinct way real storage fails, and FSInjector
+// makes a seeded decision at each one:
+//
+//   - torn write: only a prefix of the bytes reaches the disk, but the
+//     write reports full success — what a kill -9 (or power loss) between
+//     write and fsync looks like after the rename still lands.
+//   - short write: the write returns early with io.ErrShortWrite — a full
+//     disk or interrupted syscall the caller can see.
+//   - bit flip: one byte is corrupted in flight — firmware/media rot the
+//     checksum must catch at read time.
+//   - fsync/rename/dirsync EIO: the durability syscalls themselves fail.
+//
+// Same seed, same operation sequence, same faults — the chaos tests are
+// reproducible from the plan alone, like every other class in this
+// package.
+package faults
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"sync"
+
+	"faros/internal/store"
+)
+
+// ErrInjectedIO is the error injected for fsync/rename/dirsync failures.
+var ErrInjectedIO = errors.New("faults: injected I/O error")
+
+// FSPlan configures filesystem faults. Probabilities are per operation
+// (per Write call, per Sync call, per Rename call). The zero value injects
+// nothing.
+type FSPlan struct {
+	Seed uint64
+	// TornWrite is the chance a Write persists only a prefix of its bytes
+	// while reporting success. The damage is silent until the entry is
+	// read back and fails verification.
+	TornWrite float64
+	// ShortWrite is the chance a Write returns n < len(p) with
+	// io.ErrShortWrite.
+	ShortWrite float64
+	// BitFlip is the chance a Write lands with one byte corrupted.
+	BitFlip float64
+	// SyncErr is the chance a file Sync fails with ErrInjectedIO.
+	SyncErr float64
+	// RenameErr is the chance a Rename fails with ErrInjectedIO.
+	RenameErr float64
+	// DirSyncErr is the chance a directory sync fails with ErrInjectedIO.
+	DirSyncErr float64
+}
+
+// FSStats counts injected filesystem faults.
+type FSStats struct {
+	TornWrites  int
+	ShortWrites int
+	BitFlips    int
+	SyncErrs    int
+	RenameErrs  int
+	DirSyncErrs int
+}
+
+// Total returns the number of filesystem faults injected.
+func (s FSStats) Total() int {
+	return s.TornWrites + s.ShortWrites + s.BitFlips + s.SyncErrs + s.RenameErrs + s.DirSyncErrs
+}
+
+// FSInjector implements store.FS over an inner filesystem, injecting
+// seeded faults on the write path. Reads and directory scans pass through
+// untouched — recovery code must see the disk as it really is.
+type FSInjector struct {
+	inner store.FS
+	plan  FSPlan
+
+	mu    sync.Mutex
+	st    stream
+	stats FSStats
+}
+
+// NewFSInjector wraps inner (nil = the real OS) with the plan's faults.
+func NewFSInjector(plan FSPlan, inner store.FS) *FSInjector {
+	if inner == nil {
+		inner = store.OSFS{}
+	}
+	return &FSInjector{
+		inner: inner,
+		plan:  plan,
+		st:    stream{state: plan.Seed ^ 0xAE57_0000_0000_0005},
+	}
+}
+
+// Stats returns the fault counters so far.
+func (f *FSInjector) Stats() FSStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// MkdirAll implements store.FS (pass-through).
+func (f *FSInjector) MkdirAll(path string) error { return f.inner.MkdirAll(path) }
+
+// ReadDir implements store.FS (pass-through).
+func (f *FSInjector) ReadDir(path string) ([]fs.DirEntry, error) { return f.inner.ReadDir(path) }
+
+// ReadFile implements store.FS (pass-through).
+func (f *FSInjector) ReadFile(path string) ([]byte, error) { return f.inner.ReadFile(path) }
+
+// Remove implements store.FS (pass-through).
+func (f *FSInjector) Remove(path string) error { return f.inner.Remove(path) }
+
+// Rename implements store.FS, possibly failing with ErrInjectedIO.
+func (f *FSInjector) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	fail := f.st.float() < f.plan.RenameErr
+	if fail {
+		f.stats.RenameErrs++
+	}
+	f.mu.Unlock()
+	if fail {
+		return ErrInjectedIO
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// SyncDir implements store.FS, possibly failing with ErrInjectedIO.
+func (f *FSInjector) SyncDir(path string) error {
+	f.mu.Lock()
+	fail := f.st.float() < f.plan.DirSyncErr
+	if fail {
+		f.stats.DirSyncErrs++
+	}
+	f.mu.Unlock()
+	if fail {
+		return ErrInjectedIO
+	}
+	return f.inner.SyncDir(path)
+}
+
+// CreateTemp implements store.FS; the returned file injects write-path
+// faults.
+func (f *FSInjector) CreateTemp(dir, pattern string) (store.File, error) {
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inj: f, inner: file}, nil
+}
+
+// faultFile wraps one temp file with write/sync fault decisions.
+type faultFile struct {
+	inj   *FSInjector
+	inner store.File
+}
+
+// Write makes one fault decision per call.
+func (w *faultFile) Write(p []byte) (int, error) {
+	inj := w.inj
+	inj.mu.Lock()
+	r := inj.st.float()
+	plan := inj.plan
+	switch {
+	case r < plan.TornWrite:
+		inj.stats.TornWrites++
+		keep := 0
+		if len(p) > 1 {
+			keep = 1 + int(inj.st.next()%uint64(len(p)-1))
+		}
+		inj.mu.Unlock()
+		// Persist only a prefix but report complete success: the caller
+		// believes the entry landed; verification at read time must not.
+		if _, err := w.inner.Write(p[:keep]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	case r < plan.TornWrite+plan.ShortWrite:
+		inj.stats.ShortWrites++
+		keep := 0
+		if len(p) > 1 {
+			keep = 1 + int(inj.st.next()%uint64(len(p)-1))
+		}
+		inj.mu.Unlock()
+		n, err := w.inner.Write(p[:keep])
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	case r < plan.TornWrite+plan.ShortWrite+plan.BitFlip:
+		inj.stats.BitFlips++
+		bad := append([]byte(nil), p...)
+		if len(bad) > 0 {
+			pos := int(inj.st.next() % uint64(len(bad)))
+			bad[pos] ^= byte(1 + inj.st.next()%255)
+		}
+		inj.mu.Unlock()
+		n, err := w.inner.Write(bad)
+		return n, err
+	}
+	inj.mu.Unlock()
+	return w.inner.Write(p)
+}
+
+// Sync possibly fails with ErrInjectedIO (the data is then not durable,
+// but this simulation leaves the inner file as-is: the interesting case —
+// data lost before rename — is covered by TornWrite).
+func (w *faultFile) Sync() error {
+	inj := w.inj
+	inj.mu.Lock()
+	fail := inj.st.float() < inj.plan.SyncErr
+	if fail {
+		inj.stats.SyncErrs++
+	}
+	inj.mu.Unlock()
+	if fail {
+		return ErrInjectedIO
+	}
+	return w.inner.Sync()
+}
+
+// Close passes through.
+func (w *faultFile) Close() error { return w.inner.Close() }
+
+// Name passes through.
+func (w *faultFile) Name() string { return w.inner.Name() }

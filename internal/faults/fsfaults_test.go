@@ -1,0 +1,190 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"faros/internal/store"
+)
+
+func fsKey(i int) string { return fmt.Sprintf("%064x", i+1) }
+
+// TestFSInjectorDeterminism: same plan, same operation sequence, same
+// faults.
+func TestFSInjectorDeterminism(t *testing.T) {
+	plan := FSPlan{Seed: 0xFA405, TornWrite: 0.3, ShortWrite: 0.2, BitFlip: 0.2, SyncErr: 0.1, RenameErr: 0.1}
+	run := func(dir string) (FSStats, []string) {
+		inj := NewFSInjector(plan, nil)
+		s, err := store.Open(store.Config{Dir: dir, FS: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outcomes []string
+		for i := 0; i < 40; i++ {
+			err := s.Put(fsKey(i), bytes.Repeat([]byte("x"), 64+i))
+			outcomes = append(outcomes, fmt.Sprintf("%d:%v", i, err != nil))
+		}
+		return inj.Stats(), outcomes
+	}
+	st1, out1 := run(t.TempDir())
+	st2, out2 := run(t.TempDir())
+	if st1 != st2 {
+		t.Fatalf("stats diverged: %+v vs %+v", st1, st2)
+	}
+	if st1.Total() == 0 {
+		t.Fatal("no faults injected at these rates")
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("outcome %d diverged: %s vs %s", i, out1[i], out2[i])
+		}
+	}
+}
+
+// TestSyncAndRenameFaultsFailPutCleanly: EIO on fsync or rename makes Put
+// fail without leaving a servable partial entry, and the store reports
+// the failure through Err until a clean Put.
+func TestSyncAndRenameFaultsFailPutCleanly(t *testing.T) {
+	for name, plan := range map[string]FSPlan{
+		"sync":   {SyncErr: 1},
+		"rename": {RenameErr: 1},
+		"short":  {ShortWrite: 1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			clean, err := store.Open(store.Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := clean.Put(fsKey(0), []byte("intact")); err != nil {
+				t.Fatal(err)
+			}
+
+			inj := NewFSInjector(plan, nil)
+			s, err := store.Open(store.Config{Dir: dir, FS: inj})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(fsKey(1), []byte("doomed")); err == nil {
+				t.Fatal("Put succeeded under injected fault")
+			} else if name != "short" && !errors.Is(err, ErrInjectedIO) {
+				t.Fatalf("Put error %v does not wrap ErrInjectedIO", err)
+			}
+			if s.Err() == nil {
+				t.Fatal("store.Err() nil after failed Put")
+			}
+			if _, ok := s.Get(fsKey(1)); ok {
+				t.Fatal("failed Put left a servable entry")
+			}
+			if got, ok := s.Get(fsKey(0)); !ok || string(got) != "intact" {
+				t.Fatal("pre-existing entry lost after failed Put")
+			}
+			if inj.Stats().Total() == 0 {
+				t.Fatal("no fault recorded")
+			}
+
+			// Reopen clean: the failed write left nothing corrupt behind.
+			s2, err := store.Open(store.Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := s2.Stats(); st.CorruptQuarantined != 0 {
+				t.Fatalf("failed Put left %d corrupt entries for recovery", st.CorruptQuarantined)
+			}
+			if _, ok := s2.Get(fsKey(0)); !ok {
+				t.Fatal("intact entry lost across reopen")
+			}
+		})
+	}
+}
+
+// TestBitFlipCaughtAtRead: a bit flip in flight lands on disk, but the
+// checksum catches it at read time and the entry is quarantined, never
+// served.
+func TestBitFlipCaughtAtRead(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewFSInjector(FSPlan{BitFlip: 1}, nil)
+	s, err := store.Open(store.Config{Dir: dir, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fsKey(0), []byte("payload-to-rot")); err != nil {
+		t.Fatalf("Put: %v (bit flips are silent)", err)
+	}
+	if _, ok := s.Get(fsKey(0)); ok {
+		t.Fatal("bit-flipped entry served")
+	}
+	if st := s.Stats(); st.CorruptQuarantined != 1 {
+		t.Fatalf("CorruptQuarantined = %d, want 1", st.CorruptQuarantined)
+	}
+	if inj.Stats().BitFlips == 0 {
+		t.Fatal("no bit flip recorded")
+	}
+}
+
+// TestCrashMidWriteRecovery is the kill-farosd-mid-write chaos test at the
+// store level: a batch of entries lands cleanly, then the process "dies"
+// mid-write — torn writes persist only a prefix of later entries while
+// reporting success, exactly what kill -9 between write and rename-visible
+// leaves behind. A fresh store over the same directory (the restart) must
+// quarantine every torn entry and serve every intact one bit-identical.
+func TestCrashMidWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	clean, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intact := map[string][]byte{}
+	for i := 0; i < 6; i++ {
+		p := []byte(fmt.Sprintf(`{"scenario":"s%d","flagged":%v}`, i, i%2 == 0))
+		intact[fsKey(i)] = p
+		if err := clean.Put(fsKey(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The "crash": every write from here on is torn.
+	inj := NewFSInjector(FSPlan{Seed: 7, TornWrite: 1}, nil)
+	dying, err := store.Open(store.Config{Dir: dir, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i < 10; i++ {
+		// Torn writes are silent: Put believes it succeeded.
+		if err := dying.Put(fsKey(i), bytes.Repeat([]byte("y"), 200)); err != nil {
+			t.Fatalf("torn Put reported failure: %v", err)
+		}
+	}
+	if inj.Stats().TornWrites != 4 {
+		t.Fatalf("TornWrites = %d, want 4", inj.Stats().TornWrites)
+	}
+
+	// The restart: recovery must separate intact from torn exactly.
+	recovered, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := recovered.Stats()
+	if st.CorruptQuarantined != 4 {
+		t.Fatalf("recovery quarantined %d entries, want 4", st.CorruptQuarantined)
+	}
+	if recovered.Len() != 6 {
+		t.Fatalf("recovery kept %d entries, want 6", recovered.Len())
+	}
+	for k, want := range intact {
+		got, ok := recovered.Get(k)
+		if !ok {
+			t.Fatalf("intact entry %s lost in recovery", k)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("intact entry %s not bit-identical after recovery", k)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if _, ok := recovered.Get(fsKey(i)); ok {
+			t.Fatalf("torn entry %s served after recovery", fsKey(i))
+		}
+	}
+}

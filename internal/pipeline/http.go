@@ -3,7 +3,9 @@ package pipeline
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"faros/internal/core"
@@ -20,6 +22,11 @@ type ServerConfig struct {
 	Resolve func(name string) (samples.Spec, bool)
 	// Names lists the scenario namespace for GET /scenarios.
 	Names func() []string
+	// Admission enables the admission-control front door: per-client
+	// token-bucket rate limits and queue-saturation load shedding (429 +
+	// Retry-After; cached/stored results keep serving while new work is
+	// shed). nil disables both.
+	Admission *AdmissionConfig
 }
 
 // AnalyzeRequest is the POST /analyze body. Exactly one of Scenario,
@@ -109,9 +116,22 @@ func (sc ServerConfig) resolveSpec(req AnalyzeRequest) (samples.Spec, error) {
 //	GET  /metrics          Prometheus text exposition
 //	GET  /stats            Stats snapshot as JSON
 //	GET  /scenarios        scenario namespace
-//	GET  /healthz          liveness
+//	GET  /healthz          liveness (process is up, nothing more)
+//	GET  /readyz           readiness: queue saturation, drain state, store
+//	                       health (503 while not ready)
+//
+// With ServerConfig.Admission set, POST /analyze sits behind admission
+// control: per-client rate limiting and queue-saturation shedding both
+// answer 429 with a Retry-After header. While shedding, requests whose
+// result is already in the cache or the persistent store are still
+// served — overload degrades farosd to a read-only result server instead
+// of letting the queue grow without bound.
 func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 	mux := http.NewServeMux()
+	var adm *admission
+	if cfg.Admission != nil {
+		adm = newAdmission(*cfg.Admission)
+	}
 
 	writeJSON := func(w http.ResponseWriter, status int, v any) {
 		w.Header().Set("Content-Type", "application/json")
@@ -125,8 +145,22 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 		}
 		writeJSON(w, status, map[string]string{"error": err.Error()})
 	}
+	// writeRetryable is a back-pressure rejection: the client should retry
+	// after the hinted delay (pipeline/client does so automatically).
+	writeRetryable := func(w http.ResponseWriter, status int, after time.Duration, msg string) {
+		secs := int(math.Ceil(math.Max(after.Seconds(), 1)))
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, status, map[string]string{"error": msg})
+	}
 
 	mux.HandleFunc("POST /analyze", func(w http.ResponseWriter, r *http.Request) {
+		if adm != nil {
+			if ok, after := adm.allow(clientKey(r.RemoteAddr)); !ok {
+				p.metrics.add(func(m *counters) { m.admissionRateLimited++ })
+				writeRetryable(w, http.StatusTooManyRequests, after, "rate limit exceeded")
+				return
+			}
+		}
 		var req AnalyzeRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, &httpError{http.StatusBadRequest, "body: " + err.Error()})
@@ -154,17 +188,36 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 		if req.Config != nil {
 			preq.Config = *req.Config
 		}
-		job, err := p.Submit(preq)
-		switch {
-		case err == ErrQueueFull:
-			writeErr(w, &httpError{http.StatusServiceUnavailable, err.Error()})
-			return
-		case err == ErrClosed:
-			writeErr(w, &httpError{http.StatusServiceUnavailable, err.Error()})
-			return
-		case err != nil:
-			writeErr(w, err)
-			return
+		var job *Job
+		if adm != nil && adm.shedding(p) {
+			// Overload mode: only already-available results are served;
+			// anything needing execution sheds with a retry hint.
+			cached, ok := p.CachedJob(preq)
+			if !ok {
+				p.metrics.add(func(m *counters) { m.admissionShed++ })
+				writeRetryable(w, http.StatusTooManyRequests, adm.cfg.RetryAfter,
+					"queue saturated; serving cached results only")
+				return
+			}
+			job = cached
+		} else {
+			var err error
+			job, err = p.Submit(preq)
+			retryAfter := time.Second
+			if adm != nil {
+				retryAfter = adm.cfg.RetryAfter
+			}
+			switch {
+			case err == ErrQueueFull:
+				writeRetryable(w, http.StatusTooManyRequests, retryAfter, err.Error())
+				return
+			case err == ErrDraining, err == ErrClosed:
+				writeRetryable(w, http.StatusServiceUnavailable, retryAfter, err.Error())
+				return
+			case err != nil:
+				writeErr(w, err)
+				return
+			}
 		}
 		if req.Wait {
 			view, err := p.Wait(r.Context(), job)
@@ -256,9 +309,50 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 		writeJSON(w, http.StatusOK, map[string][]string{"scenarios": names})
 	})
 
+	// /healthz is pure liveness: the process is up and serving HTTP.
+	// Everything that can degrade — queue saturation, drain state, store
+	// health — belongs to /readyz, so an overloaded or draining farosd is
+	// taken out of rotation without being restarted.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		rd := Readiness{
+			Draining:        p.Draining(),
+			QueueSaturation: p.QueueSaturation(),
+			Store:           "disabled",
+		}
+		if adm != nil {
+			rd.Shedding = adm.shedding(p)
+		}
+		storeOK := true
+		if _, enabled := p.StoreStats(); enabled {
+			if err := p.StoreErr(); err != nil {
+				rd.Store = "degraded: " + err.Error()
+				storeOK = false
+			} else {
+				rd.Store = "ok"
+			}
+		}
+		rd.Ready = !rd.Draining && !rd.Shedding && storeOK
+		status := http.StatusOK
+		if !rd.Ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, rd)
+	})
+
 	return mux
+}
+
+// Readiness is the GET /readyz body: whether farosd should receive new
+// traffic, and why not when it shouldn't.
+type Readiness struct {
+	Ready           bool    `json:"ready"`
+	Draining        bool    `json:"draining"`
+	Shedding        bool    `json:"shedding"`
+	QueueSaturation float64 `json:"queue_saturation"`
+	// Store is "disabled", "ok", or "degraded: <last write error>".
+	Store string `json:"store"`
 }

@@ -22,7 +22,10 @@ import (
 
 func newTestServer(t *testing.T, cfg pipeline.Config) (*httptest.Server, *pipeline.Pool) {
 	t.Helper()
-	p := pipeline.New(cfg)
+	p, err := pipeline.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	t.Cleanup(p.Close)
 	srv := httptest.NewServer(pipeline.NewHandler(p, pipeline.ServerConfig{
 		Resolve: func(name string) (samples.Spec, bool) {

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"faros/internal/store"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. Guest runs
@@ -46,6 +48,8 @@ type counters struct {
 	deadlines            uint64
 	canceled             uint64
 	queueFull            uint64
+	admissionShed        uint64
+	admissionRateLimited uint64
 	cacheHits            uint64
 	cacheMisses          uint64
 	cacheExpired         uint64
@@ -114,6 +118,8 @@ type snapshotGauges struct {
 	jobsActive       int
 	jobsRetained     int
 	waitersCoalesced int
+	storeEnabled     bool
+	store            store.Stats
 }
 
 // Stats is an immutable snapshot of the pool's observable state. Both the
@@ -140,6 +146,19 @@ type Stats struct {
 	JobsDeadline  uint64 `json:"jobs_deadline"`
 	JobsCanceled  uint64 `json:"jobs_canceled"`
 	QueueFull     uint64 `json:"queue_full"`
+
+	// AdmissionShed counts submissions rejected with 429 because the
+	// queue passed the shed threshold and the result was not already
+	// cached or stored; AdmissionRateLimited counts per-client
+	// token-bucket rejections.
+	AdmissionShed        uint64 `json:"admission_shed"`
+	AdmissionRateLimited uint64 `json:"admission_rate_limited"`
+
+	// StoreEnabled reports whether a persistent store is configured;
+	// Store is its counters (entries/bytes gauges, hit/miss/quarantine/GC
+	// totals).
+	StoreEnabled bool        `json:"store_enabled"`
+	Store        store.Stats `json:"store"`
 
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
@@ -177,6 +196,10 @@ func (m *metrics) snapshot(g snapshotGauges) Stats {
 		JobsDeadline:         m.c.deadlines,
 		JobsCanceled:         m.c.canceled,
 		QueueFull:            m.c.queueFull,
+		AdmissionShed:        m.c.admissionShed,
+		AdmissionRateLimited: m.c.admissionRateLimited,
+		StoreEnabled:         g.storeEnabled,
+		Store:                g.store,
 		CacheHits:            m.c.cacheHits,
 		CacheMisses:          m.c.cacheMisses,
 		CacheExpired:         m.c.cacheExpired,
@@ -228,6 +251,14 @@ func (s Stats) String() string {
 		s.JobsSubmitted, s.JobsDone, s.JobsFailed, s.JobsDeadline, s.JobsCanceled, s.JobsCoalesced, s.QueueFull)
 	fmt.Fprintf(&sb, "cache: %d hits, %d misses (%.0f%% hit rate), %d expired, %d degraded skipped\n",
 		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate(), s.CacheExpired, s.CacheSkippedDegraded)
+	if s.StoreEnabled {
+		fmt.Fprintf(&sb, "store: %d entries (%d bytes), %d hits, %d misses, %d quarantined, %d gc-evicted\n",
+			s.Store.Entries, s.Store.Bytes, s.Store.Hits, s.Store.Misses,
+			s.Store.CorruptQuarantined, s.Store.GCEvicted)
+	}
+	if s.AdmissionShed+s.AdmissionRateLimited > 0 {
+		fmt.Fprintf(&sb, "admission: %d shed, %d rate-limited\n", s.AdmissionShed, s.AdmissionRateLimited)
+	}
 	fmt.Fprintf(&sb, "guest: %d instructions executed\n", s.Instructions)
 	if t := s.Taint; t.Prepends+t.Unions+t.ShadowWrites > 0 {
 		fmt.Fprintf(&sb, "taint: %d prepends (%.0f%% memoized), %d unions (%.0f%% memoized), %d shadow writes, %d page skips, %d instr-prov hits\n",
@@ -282,6 +313,16 @@ func (s Stats) Prometheus() string {
 	counter("faros_jobs_deadline_total", "Runs cancelled by their deadline.", s.JobsDeadline)
 	counter("faros_jobs_canceled_total", "Waiter handles cancelled by request.", s.JobsCanceled)
 	counter("faros_queue_full_total", "Submissions rejected because the queue was at capacity.", s.QueueFull)
+	counter("faros_admission_shed_total", "Submissions shed with 429 because the queue passed the shed threshold.", s.AdmissionShed)
+	counter("faros_admission_rate_limited_total", "Submissions rejected by the per-client rate limit.", s.AdmissionRateLimited)
+	if s.StoreEnabled {
+		gauge("faros_store_entries", "Entries in the persistent result store.", s.Store.Entries)
+		gauge("faros_store_bytes", "On-disk bytes held by the persistent result store.", int(s.Store.Bytes))
+		counter("faros_store_hits_total", "Lookups served from the persistent result store.", s.Store.Hits)
+		counter("faros_store_misses_total", "Persistent-store lookups that found no entry.", s.Store.Misses)
+		counter("faros_store_corrupt_quarantined_total", "Store entries that failed verification and were quarantined.", s.Store.CorruptQuarantined)
+		counter("faros_store_gc_evicted_total", "Store entries dropped by TTL or size garbage collection.", s.Store.GCEvicted)
+	}
 	counter("faros_cache_hits_total", "Submissions served from the result cache.", s.CacheHits)
 	counter("faros_cache_misses_total", "Cacheable submissions that missed the cache.", s.CacheMisses)
 	counter("faros_cache_expired_total", "Cache entries dropped at lookup because their TTL passed.", s.CacheExpired)

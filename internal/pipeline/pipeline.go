@@ -33,6 +33,7 @@ import (
 	"faros/internal/provgraph"
 	"faros/internal/samples"
 	"faros/internal/scenario"
+	"faros/internal/store"
 )
 
 // Mode selects the analysis workflow a job runs.
@@ -217,8 +218,47 @@ type Config struct {
 	// JobRetentionAge expires retained jobs by age (default 15m;
 	// negative = no age limit).
 	JobRetentionAge time.Duration
+	// Store is the persistent result tier under the in-memory cache
+	// (nil = memory only). Clean results are written through to it, and
+	// cache misses read through it — a restarted farosd pointed at the
+	// same store directory serves previously completed work from disk
+	// with zero re-execution. Degraded results are never persisted.
+	Store *store.Store
 	// Runner overrides the analysis function (tests only).
 	Runner Runner
+}
+
+// ConfigError reports a rejected Config field. Construction fails loudly
+// instead of letting a nonsensical value (a negative worker count, a
+// negative TTL) silently coerce into some default at runtime.
+type ConfigError struct {
+	Field  string
+	Value  any
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("pipeline: config %s=%v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate rejects Config values that have no meaning. Zero always means
+// "use the default", and the documented negative toggles (JobTimeout,
+// CacheCap, JobRetention, JobRetentionAge) stay valid; everything else
+// must be non-negative.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return &ConfigError{"Workers", c.Workers, "worker count cannot be negative (0 = GOMAXPROCS)"}
+	}
+	if c.QueueDepth < 0 {
+		return &ConfigError{"QueueDepth", c.QueueDepth, "queue depth cannot be negative (0 = default 256)"}
+	}
+	if c.CacheTTL < 0 {
+		return &ConfigError{"CacheTTL", c.CacheTTL, "cache TTL cannot be negative (0 = entries never age out)"}
+	}
+	if c.DegradedTTL < 0 {
+		return &ConfigError{"DegradedTTL", c.DegradedTTL, "degraded TTL cannot be negative (0 = never cache degraded results)"}
+	}
+	return nil
 }
 
 // ErrQueueFull is returned by Submit when the job queue is at capacity.
@@ -226,6 +266,11 @@ var ErrQueueFull = errors.New("pipeline: job queue full")
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("pipeline: pool closed")
+
+// ErrDraining is returned by Submit for new work while the pool is
+// draining for shutdown (cache hits and coalescing onto in-flight runs
+// still succeed — they add no new work).
+var ErrDraining = errors.New("pipeline: pool draining")
 
 // cacheEntry is one cached result plus its eviction bookkeeping.
 type cacheEntry struct {
@@ -250,14 +295,19 @@ type Pool struct {
 	retained  map[string]*retainedJob
 	retOrder  []string // retained job IDs, oldest first
 	closed    bool
+	draining  bool
 
 	running atomic.Int64
 	nextID  atomic.Uint64
 	wg      sync.WaitGroup
 }
 
-// New starts a pool with cfg.Workers workers.
-func New(cfg Config) *Pool {
+// New validates cfg and starts a pool with cfg.Workers workers. A
+// rejected field returns a *ConfigError and no pool.
+func New(cfg Config) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -293,7 +343,7 @@ func New(cfg Config) *Pool {
 	for i := 0; i < cfg.Workers; i++ {
 		go p.worker()
 	}
-	return p
+	return p, nil
 }
 
 // runScenario is the default Runner.
@@ -355,15 +405,8 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 	}
 	if key != "" {
 		if res, ok := p.lookupCacheLocked(key); ok {
-			job := p.newJobLocked(req, key)
-			job.state = StateDone
-			job.cacheHit = true
-			job.result = res
-			job.finished = time.Now()
-			close(job.done)
-			p.retainLocked(job)
 			p.metrics.add(func(m *counters) { m.cacheHits++ })
-			return job, nil
+			return p.cacheHitJobLocked(req, key, res), nil
 		}
 		if r, ok := p.inflight[key]; ok && !r.canceled {
 			job := p.newJobLocked(req, key)
@@ -377,6 +420,12 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 			p.metrics.add(func(m *counters) { m.coalesced++ })
 			return job, nil
 		}
+		if res, ok := p.storeLookupLocked(key); ok {
+			return p.cacheHitJobLocked(req, key, res), nil
+		}
+	}
+	if p.draining {
+		return nil, ErrDraining
 	}
 	job := p.newJobLocked(req, key)
 	r := &run{key: key, req: req, waiters: []*Job{job}}
@@ -408,6 +457,139 @@ func (p *Pool) newJobLocked(req Request, key string) *Job {
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+	}
+}
+
+// cacheHitJobLocked builds an already-settled waiter handle around a
+// cached (or store-served) result; p.mu must be held.
+func (p *Pool) cacheHitJobLocked(req Request, key string, res *Result) *Job {
+	job := p.newJobLocked(req, key)
+	job.state = StateDone
+	job.cacheHit = true
+	job.result = res
+	job.finished = time.Now()
+	close(job.done)
+	p.retainLocked(job)
+	return job
+}
+
+// storeLookupLocked reads through the persistent store on a memory-cache
+// miss. A hit is promoted into the memory cache (under the configured TTL)
+// so subsequent lookups skip the disk; p.mu must be held. The store itself
+// counts hits/misses and quarantines entries that fail verification.
+func (p *Pool) storeLookupLocked(key string) (*Result, bool) {
+	if p.cfg.Store == nil || p.cfg.CacheCap < 0 {
+		return nil, false
+	}
+	payload, ok := p.cfg.Store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		// The checksum verified, so this is a format skew (an entry
+		// written by an incompatible version), not corruption; ignore it.
+		return nil, false
+	}
+	var exp time.Time
+	if p.cfg.CacheTTL > 0 {
+		exp = time.Now().Add(p.cfg.CacheTTL)
+	}
+	p.storeLocked(key, &res, exp)
+	return &res, true
+}
+
+// CachedJob serves a request from the memory cache or the persistent
+// store without creating any new work — the overload path: when the queue
+// is saturated the HTTP layer degrades to cached-only service, and this
+// is the lookup it degrades to. ok=false when the result is not already
+// available.
+func (p *Pool) CachedJob(req Request) (*Job, bool) {
+	if req.Mode == "" {
+		req.Mode = ModeDetect
+	}
+	if req.NoCache {
+		return nil, false
+	}
+	key := cacheKey(req)
+	if key == "" {
+		return nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, false
+	}
+	if res, ok := p.lookupCacheLocked(key); ok {
+		p.metrics.add(func(m *counters) { m.cacheHits++ })
+		return p.cacheHitJobLocked(req, key, res), true
+	}
+	if res, ok := p.storeLookupLocked(key); ok {
+		return p.cacheHitJobLocked(req, key, res), true
+	}
+	return nil, false
+}
+
+// QueueSaturation returns the queued fraction of the queue's capacity
+// (0 = idle, 1 = full) — the load-shedding signal.
+func (p *Pool) QueueSaturation() float64 {
+	return float64(len(p.queue)) / float64(cap(p.queue))
+}
+
+// StoreStats returns the persistent store's counters; ok=false when no
+// store is configured.
+func (p *Pool) StoreStats() (store.Stats, bool) {
+	if p.cfg.Store == nil {
+		return store.Stats{}, false
+	}
+	return p.cfg.Store.Stats(), true
+}
+
+// StoreErr returns the persistent store's last write failure (nil when
+// healthy or no store is configured) — the readiness surface.
+func (p *Pool) StoreErr() error {
+	if p.cfg.Store == nil {
+		return nil
+	}
+	return p.cfg.Store.Err()
+}
+
+// BeginDrain stops the pool accepting new work (Submit returns
+// ErrDraining for anything that is not a cache/store hit or a coalesce
+// onto an in-flight run) while letting queued and running jobs finish.
+func (p *Pool) BeginDrain() {
+	p.mu.Lock()
+	p.draining = true
+	p.mu.Unlock()
+}
+
+// Draining reports whether BeginDrain was called.
+func (p *Pool) Draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}
+
+// Drain marks the pool draining and waits until every in-flight job has
+// settled (or ctx expires). It does not stop the workers — call Close
+// afterwards; the combination is farosd's graceful shutdown: drain
+// in-flight work, then tear down.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.BeginDrain()
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		p.mu.Lock()
+		idle := len(p.jobs) == 0 && len(p.queue) == 0 && p.running.Load() == 0
+		p.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
 	}
 }
 
@@ -449,19 +631,38 @@ func (p *Pool) runJob(r *run) {
 	req := r.req
 	p.mu.Unlock()
 
-	p.running.Add(1)
-	res, err := p.cfg.Runner(ctx, req)
-	p.running.Add(-1)
-	cancel()
+	res, err := func() (*scenario.Result, error) {
+		p.running.Add(1)
+		defer p.running.Add(-1)
+		defer cancel()
+		return p.cfg.Runner(ctx, req)
+	}()
 
 	p.mu.Lock()
-	p.finishRunLocked(r, res, err)
+	persist := p.finishRunLocked(r, res, err)
 	p.mu.Unlock()
+	if persist != nil {
+		p.persist(persist)
+	}
+}
+
+// persist writes a clean result through to the persistent store (outside
+// the pool mutex — it is a disk write). Store failures are non-fatal: the
+// result is already in the memory cache and served; the store records the
+// error for the readiness surface.
+func (p *Pool) persist(res *Result) {
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	_ = p.cfg.Store.Put(res.Hash, payload)
 }
 
 // finishRunLocked records a run's outcome, applies the cache policy, and
-// settles every still-attached waiter; p.mu must be held.
-func (p *Pool) finishRunLocked(r *run, res *scenario.Result, err error) {
+// settles every still-attached waiter; p.mu must be held. The returned
+// result, when non-nil, is clean and cacheable and should be written
+// through to the persistent store by the caller (outside the lock).
+func (p *Pool) finishRunLocked(r *run, res *scenario.Result, err error) (persist *Result) {
 	r.cancel = nil
 	if r.key != "" && p.inflight[r.key] == r {
 		delete(p.inflight, r.key)
@@ -508,6 +709,9 @@ func (p *Pool) finishRunLocked(r *run, res *scenario.Result, err error) {
 					exp = now.Add(p.cfg.CacheTTL)
 				}
 				p.storeLocked(r.key, result, exp)
+				if p.cfg.Store != nil {
+					persist = result
+				}
 			case p.cfg.DegradedTTL > 0:
 				p.storeLocked(r.key, result, now.Add(p.cfg.DegradedTTL))
 			default:
@@ -540,6 +744,7 @@ func (p *Pool) finishRunLocked(r *run, res *scenario.Result, err error) {
 		}
 	}
 	r.waiters = nil
+	return persist
 }
 
 // settleLocked moves one waiter to a terminal state: final fields, done
@@ -743,11 +948,16 @@ func (p *Pool) viewLocked(job *Job) JobView {
 	return v
 }
 
-// ResultByHash returns the cached result for a cache key.
+// ResultByHash returns the cached result for a cache key, reading through
+// the persistent store on a memory miss — GET /results/{hash} keeps
+// answering across restarts.
 func (p *Pool) ResultByHash(hash string) (*Result, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.lookupCacheLocked(hash)
+	if res, ok := p.lookupCacheLocked(hash); ok {
+		return res, true
+	}
+	return p.storeLookupLocked(hash)
 }
 
 // Wait blocks until the job finishes or ctx expires, then returns its
@@ -825,7 +1035,7 @@ func (p *Pool) Stats() Stats {
 		}
 	}
 	p.mu.Unlock()
-	return p.metrics.snapshot(snapshotGauges{
+	g := snapshotGauges{
 		workers:          p.cfg.Workers,
 		queueDepth:       queued,
 		running:          int(p.running.Load()),
@@ -833,7 +1043,12 @@ func (p *Pool) Stats() Stats {
 		jobsActive:       active,
 		jobsRetained:     retained,
 		waitersCoalesced: coalescedWaiters,
-	})
+	}
+	if p.cfg.Store != nil {
+		g.storeEnabled = true
+		g.store = p.cfg.Store.Stats()
+	}
+	return p.metrics.snapshot(g)
 }
 
 // Close stops accepting work, cancels anything still running, settles

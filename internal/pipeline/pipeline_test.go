@@ -39,6 +39,16 @@ func blockingRunner(release <-chan struct{}) Runner {
 	}
 }
 
+// mustNew builds a pool from a config the test knows is valid.
+func mustNew(tb testing.TB, cfg Config) *Pool {
+	tb.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		tb.Fatalf("New: %v", err)
+	}
+	return p
+}
+
 func waitState(t *testing.T, p *Pool, job *Job, want State) JobView {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -58,7 +68,7 @@ func waitState(t *testing.T, p *Pool, job *Job, want State) JobView {
 // coalesce onto one in-flight job.
 func TestPoolCacheAndDedup(t *testing.T) {
 	release := make(chan struct{})
-	p := New(Config{Workers: 2, Runner: blockingRunner(release)})
+	p := mustNew(t, Config{Workers: 2, Runner: blockingRunner(release)})
 	defer p.Close()
 
 	spec := samples.Spinner(1000)
@@ -129,7 +139,7 @@ func TestPoolCacheAndDedup(t *testing.T) {
 func TestPoolNoCache(t *testing.T) {
 	release := make(chan struct{})
 	close(release)
-	p := New(Config{Workers: 1, Runner: blockingRunner(release)})
+	p := mustNew(t, Config{Workers: 1, Runner: blockingRunner(release)})
 	defer p.Close()
 
 	spec := samples.Spinner(1000)
@@ -149,7 +159,7 @@ func TestPoolNoCache(t *testing.T) {
 // ErrQueueFull instead of blocking the caller.
 func TestPoolQueueFull(t *testing.T) {
 	release := make(chan struct{})
-	p := New(Config{Workers: 1, QueueDepth: 1, Runner: blockingRunner(release)})
+	p := mustNew(t, Config{Workers: 1, QueueDepth: 1, Runner: blockingRunner(release)})
 	defer p.Close()
 
 	// Distinct specs so nothing coalesces. First occupies the worker,
@@ -191,7 +201,7 @@ func TestPoolQueueFull(t *testing.T) {
 func TestPoolCancel(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
-	p := New(Config{Workers: 1, Runner: blockingRunner(release)})
+	p := mustNew(t, Config{Workers: 1, Runner: blockingRunner(release)})
 	defer p.Close()
 
 	running, _ := p.Submit(Request{Spec: samples.Spinner(1000), Mode: ModeLive})
@@ -224,7 +234,7 @@ func TestPoolCancel(t *testing.T) {
 // unbounded budget) is cancelled by its per-job deadline through the
 // kernel's preemption check, while other jobs on the pool keep completing.
 func TestPoolDeadlineRealGuest(t *testing.T) {
-	p := New(Config{Workers: 4})
+	p := mustNew(t, Config{Workers: 4})
 	defer p.Close()
 
 	wedged, err := p.Submit(Request{
@@ -267,7 +277,7 @@ func TestPoolDeadlineRealGuest(t *testing.T) {
 // TestRunAllPreservesOrder: RunAll returns results positionally even
 // though execution is concurrent and out of order.
 func TestRunAllPreservesOrder(t *testing.T) {
-	p := New(Config{Workers: 4})
+	p := mustNew(t, Config{Workers: 4})
 	defer p.Close()
 
 	specs := []samples.Spec{
@@ -304,7 +314,7 @@ func TestRunAllPreservesOrder(t *testing.T) {
 func TestPoolClose(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
-	p := New(Config{Workers: 1, Runner: blockingRunner(release)})
+	p := mustNew(t, Config{Workers: 1, Runner: blockingRunner(release)})
 	job, _ := p.Submit(Request{Spec: samples.Spinner(1000), Mode: ModeLive})
 	go p.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -322,7 +332,7 @@ func TestPoolClose(t *testing.T) {
 func TestCacheEviction(t *testing.T) {
 	release := make(chan struct{})
 	close(release)
-	p := New(Config{Workers: 1, CacheCap: 2, Runner: blockingRunner(release)})
+	p := mustNew(t, Config{Workers: 1, CacheCap: 2, Runner: blockingRunner(release)})
 	defer p.Close()
 
 	var first *Job
@@ -348,7 +358,7 @@ func TestCacheEviction(t *testing.T) {
 // TestTaintStatsAggregation: completing a real FAROS job folds the taint
 // engine's fast-path counters into the pool metrics and both renderings.
 func TestTaintStatsAggregation(t *testing.T) {
-	p := New(Config{Workers: 1})
+	p := mustNew(t, Config{Workers: 1})
 	defer p.Close()
 
 	job, err := p.Submit(Request{Spec: samples.ReflectiveDLLInject(), Mode: ModeLive})
@@ -410,7 +420,7 @@ func waitRunning(t *testing.T, p *Pool, job *Job) {
 func TestCacheKeyDetectIgnoresConfig(t *testing.T) {
 	release := make(chan struct{})
 	close(release)
-	p := New(Config{Workers: 1, Runner: blockingRunner(release)})
+	p := mustNew(t, Config{Workers: 1, Runner: blockingRunner(release)})
 	defer p.Close()
 
 	spec := samples.Spinner(1000)
@@ -442,7 +452,7 @@ func TestCacheKeyDetectIgnoresConfig(t *testing.T) {
 // only that handle; its peers keep waiting and still get the result.
 func TestCoalescedCancelIsolation(t *testing.T) {
 	release := make(chan struct{})
-	p := New(Config{Workers: 1, Runner: blockingRunner(release)})
+	p := mustNew(t, Config{Workers: 1, Runner: blockingRunner(release)})
 	defer p.Close()
 
 	spec := samples.Spinner(1000)
@@ -490,7 +500,7 @@ func TestAllWaitersCancelAbortsRun(t *testing.T) {
 			return nil, &scenario.CancelError{Scenario: req.Spec.Name, Instructions: 42}
 		}
 	}
-	p := New(Config{Workers: 1, Runner: runner})
+	p := mustNew(t, Config{Workers: 1, Runner: runner})
 	defer p.Close()
 
 	spec := samples.Spinner(1000)
@@ -547,7 +557,7 @@ func TestQueuedCancelFreshResubmit(t *testing.T) {
 			return nil, &scenario.CancelError{Scenario: req.Spec.Name, Instructions: 42}
 		}
 	}
-	p := New(Config{Workers: 1, Runner: runner})
+	p := mustNew(t, Config{Workers: 1, Runner: runner})
 	defer p.Close()
 
 	blocker, err := p.Submit(Request{Spec: samples.Spinner(1000), Mode: ModeLive})
@@ -591,7 +601,7 @@ func TestQueuedCancelFreshResubmit(t *testing.T) {
 func TestJobRetentionCount(t *testing.T) {
 	release := make(chan struct{})
 	close(release)
-	p := New(Config{Workers: 1, JobRetention: 2, Runner: blockingRunner(release)})
+	p := mustNew(t, Config{Workers: 1, JobRetention: 2, Runner: blockingRunner(release)})
 	defer p.Close()
 
 	jobs := make([]*Job, 3)
@@ -628,7 +638,7 @@ func TestJobRetentionCount(t *testing.T) {
 func TestJobRetentionAge(t *testing.T) {
 	release := make(chan struct{})
 	close(release)
-	p := New(Config{Workers: 1, JobRetentionAge: 50 * time.Millisecond, Runner: blockingRunner(release)})
+	p := mustNew(t, Config{Workers: 1, JobRetentionAge: 50 * time.Millisecond, Runner: blockingRunner(release)})
 	defer p.Close()
 
 	job, err := p.Submit(Request{Spec: samples.Spinner(1000), Mode: ModeLive})
@@ -655,7 +665,7 @@ func TestDegradedCachePolicy(t *testing.T) {
 		return res, nil
 	}
 
-	p := New(Config{Workers: 1, Runner: degradedRunner})
+	p := mustNew(t, Config{Workers: 1, Runner: degradedRunner})
 	defer p.Close()
 	spec := samples.Spinner(1000)
 	j1, err := p.Submit(Request{Spec: spec, Mode: ModeLive})
@@ -679,7 +689,7 @@ func TestDegradedCachePolicy(t *testing.T) {
 	}
 
 	// With the knob on, degraded results are cached for the TTL only.
-	p2 := New(Config{Workers: 1, DegradedTTL: 50 * time.Millisecond, Runner: degradedRunner})
+	p2 := mustNew(t, Config{Workers: 1, DegradedTTL: 50 * time.Millisecond, Runner: degradedRunner})
 	defer p2.Close()
 	k1, _ := p2.Submit(Request{Spec: spec, Mode: ModeLive})
 	waitState(t, p2, k1, StateDone)
@@ -701,7 +711,7 @@ func TestDegradedCachePolicy(t *testing.T) {
 func TestCacheTTL(t *testing.T) {
 	release := make(chan struct{})
 	close(release)
-	p := New(Config{Workers: 1, CacheTTL: 50 * time.Millisecond, Runner: blockingRunner(release)})
+	p := mustNew(t, Config{Workers: 1, CacheTTL: 50 * time.Millisecond, Runner: blockingRunner(release)})
 	defer p.Close()
 
 	spec := samples.Spinner(1000)
@@ -726,7 +736,7 @@ func TestCacheTTL(t *testing.T) {
 func TestCacheLRU(t *testing.T) {
 	release := make(chan struct{})
 	close(release)
-	p := New(Config{Workers: 1, CacheCap: 2, CacheLRU: true, Runner: blockingRunner(release)})
+	p := mustNew(t, Config{Workers: 1, CacheCap: 2, CacheLRU: true, Runner: blockingRunner(release)})
 	defer p.Close()
 
 	specs := make([]samples.Spec, 3)
@@ -772,7 +782,7 @@ func TestSustainedLoadBoundedRegistry(t *testing.T) {
 		}
 		return res, nil
 	}
-	p := New(Config{Workers: 4, JobRetention: retention, Runner: runner})
+	p := mustNew(t, Config{Workers: 4, JobRetention: retention, Runner: runner})
 	defer p.Close()
 
 	var poisonedHits, canceledPeersDone atomic.Int64

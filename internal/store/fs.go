@@ -1,0 +1,70 @@
+package store
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the writable handle CreateTemp returns. It is the store's fault
+// surface for write-path injection: torn writes, short writes, bit flips,
+// and fsync errors all manifest through these methods.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	Close() error
+	// Name returns the file's path (used for the rename after a
+	// successful write).
+	Name() string
+}
+
+// FS is the narrow filesystem surface the store runs on. The default is
+// the real OS (OSFS); internal/faults provides an injecting implementation
+// that wraps any FS and makes seeded fault decisions at each operation, so
+// crash-recovery tests can produce torn entries, failed fsyncs, and failed
+// renames deterministically.
+type FS interface {
+	MkdirAll(path string) error
+	ReadDir(path string) ([]fs.DirEntry, error)
+	ReadFile(path string) ([]byte, error)
+	// CreateTemp creates a new unique file in dir for an atomic write
+	// (write → sync → close → rename).
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	// SyncDir flushes directory metadata, making a preceding rename
+	// durable across power loss.
+	SyncDir(path string) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// CreateTemp implements FS.
+func (OSFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

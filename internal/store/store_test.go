@@ -1,0 +1,318 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func key(i int) string {
+	return fmt.Sprintf("%064x", i+1)
+}
+
+func mustOpen(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, Config{Dir: t.TempDir()})
+	payload := []byte(`{"scenario":"njrat","flagged":true}`)
+	if err := s.Put(key(0), payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(key(0))
+	if !ok {
+		t.Fatal("Get: miss after Put")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, want %q", got, payload)
+	}
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("Get: hit for never-written key")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+// TestReopenServesIntactEntries is the core durability property: a new
+// Store over the same directory serves every entry bit-identical.
+func TestReopenServesIntactEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir})
+	payloads := map[string][]byte{}
+	for i := 0; i < 10; i++ {
+		p := []byte(fmt.Sprintf(`{"n":%d,"body":%q}`, i, strings.Repeat("x", i*100)))
+		payloads[key(i)] = p
+		if err := s.Put(key(i), p); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustOpen(t, Config{Dir: dir})
+	if s2.Len() != 10 {
+		t.Fatalf("reopened store has %d entries, want 10", s2.Len())
+	}
+	for k, want := range payloads {
+		got, ok := s2.Get(k)
+		if !ok {
+			t.Fatalf("reopened store missing %s", k)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("reopened payload for %s differs", k)
+		}
+	}
+	if st := s2.Stats(); st.CorruptQuarantined != 0 {
+		t.Fatalf("clean reopen quarantined %d entries", st.CorruptQuarantined)
+	}
+}
+
+// corruptFile flips one payload byte of an entry file in place.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReopenQuarantinesDamage: bit-rotted, torn, and truncated entries are
+// quarantined at scan — moved aside, never served — while intact
+// neighbors keep serving.
+func TestReopenQuarantinesDamage(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(key(i), []byte(fmt.Sprintf(`{"n":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// key(0): flipped payload byte (checksum mismatch).
+	corruptFile(t, filepath.Join(dir, key(0)+entrySuffix))
+	// key(1): torn write — file truncated mid-payload.
+	tornPath := filepath.Join(dir, key(1)+entrySuffix)
+	data, err := os.ReadFile(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tornPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// key(2): truncated inside the header.
+	if err := os.WriteFile(filepath.Join(dir, key(2)+entrySuffix), data[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Stray temp file from an interrupted write.
+	tmp := filepath.Join(dir, key(3)+tmpMarker+"123")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, Config{Dir: dir})
+	st := s2.Stats()
+	if st.CorruptQuarantined != 3 {
+		t.Fatalf("quarantined %d entries, want 3", st.CorruptQuarantined)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reopened store has %d entries, want 2 intact", s2.Len())
+	}
+	for _, k := range []string{key(0), key(1), key(2)} {
+		if _, ok := s2.Get(k); ok {
+			t.Fatalf("damaged entry %s was served", k)
+		}
+	}
+	for _, k := range []string{key(3), key(4)} {
+		if _, ok := s2.Get(k); !ok {
+			t.Fatalf("intact entry %s not served", k)
+		}
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("stray temp file survived the recovery scan")
+	}
+	// The quarantined files are preserved for postmortem.
+	qents, err := os.ReadDir(filepath.Join(dir, QuarantineDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qents) != 3 {
+		t.Fatalf("quarantine dir holds %d files, want 3", len(qents))
+	}
+}
+
+// TestGetQuarantinesPostScanCorruption: damage that lands after the
+// startup scan is caught by Get's re-verification.
+func TestGetQuarantinesPostScanCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir})
+	if err := s.Put(key(0), []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, filepath.Join(dir, key(0)+entrySuffix))
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("corrupt entry served")
+	}
+	st := s.Stats()
+	if st.CorruptQuarantined != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want 1 quarantined, 0 entries", st)
+	}
+	// The miss is terminal: the entry never comes back.
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("quarantined entry resurrected")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s := mustOpen(t, Config{Dir: dir, TTL: time.Minute, Now: clock})
+	if err := s.Put(key(0), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(30 * time.Second)
+	if _, ok := s.Get(key(0)); !ok {
+		t.Fatal("entry expired early")
+	}
+	now = now.Add(31 * time.Second)
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("expired entry served")
+	}
+	if st := s.Stats(); st.GCEvicted != 1 {
+		t.Fatalf("GCEvicted = %d, want 1", st.GCEvicted)
+	}
+
+	// Expiry also applies at the startup scan.
+	if err := s.Put(key(1), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	s2 := mustOpen(t, Config{Dir: dir, TTL: time.Minute, Now: func() time.Time { return now }})
+	if s2.Len() != 0 {
+		t.Fatalf("scan kept %d expired entries", s2.Len())
+	}
+	if st := s2.Stats(); st.GCEvicted != 1 {
+		t.Fatalf("scan GCEvicted = %d, want 1", st.GCEvicted)
+	}
+}
+
+func TestSizeGCEvictsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	payload := bytes.Repeat([]byte("p"), 100)
+	entryBytes := int64(headerSize + len(payload))
+	s := mustOpen(t, Config{Dir: dir, MaxBytes: 3 * entryBytes, Now: clock})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(key(i), payload); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(time.Second)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("store holds %d entries, want 3 after size GC", s.Len())
+	}
+	for _, k := range []string{key(0), key(1)} {
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("oldest entry %s survived size GC", k)
+		}
+	}
+	for _, k := range []string{key(2), key(3), key(4)} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("newest entry %s was evicted", k)
+		}
+	}
+	if st := s.Stats(); st.GCEvicted != 2 || st.Bytes != 3*entryBytes {
+		t.Fatalf("stats = %+v, want 2 evicted, %d bytes", st, 3*entryBytes)
+	}
+}
+
+func TestPutReplacesEntry(t *testing.T) {
+	s := mustOpen(t, Config{Dir: t.TempDir()})
+	if err := s.Put(key(0), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(0), []byte("new-longer-payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key(0))
+	if !ok || string(got) != "new-longer-payload" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Bytes != int64(headerSize+len("new-longer-payload")) {
+		t.Fatalf("stats after replace = %+v", st)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	s := mustOpen(t, Config{Dir: t.TempDir()})
+	for _, bad := range []string{
+		"", "short", "../../../etc/passwd", "ABCDEF0123456789", // uppercase
+		"zzzzzzzzzzzzzzzz", "0123456/..7890ab", strings.Repeat("a", 129),
+	} {
+		if err := s.Put(bad, []byte("x")); err == nil {
+			t.Errorf("Put accepted invalid key %q", bad)
+		}
+		if _, ok := s.Get(bad); ok {
+			t.Errorf("Get accepted invalid key %q", bad)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Error("Open accepted empty Dir")
+	}
+	if _, err := Open(Config{Dir: t.TempDir(), MaxBytes: -1}); err == nil {
+		t.Error("Open accepted negative MaxBytes")
+	}
+	if _, err := Open(Config{Dir: t.TempDir(), TTL: -time.Second}); err == nil {
+		t.Error("Open accepted negative TTL")
+	}
+}
+
+// TestConcurrentAccess hammers Put/Get from many goroutines under -race.
+func TestConcurrentAccess(t *testing.T) {
+	s := mustOpen(t, Config{Dir: t.TempDir(), MaxBytes: 64 * 1024})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := key(i % 20)
+				if i%2 == 0 {
+					if err := s.Put(k, []byte(fmt.Sprintf(`{"g":%d,"i":%d}`, g, i))); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				} else {
+					s.Get(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
