@@ -7,13 +7,22 @@
 //	faros -list                          # list scenarios
 //	faros -scenario reflective_dll_inject
 //	faros -scenario process_hollowing -cuckoo -malfind
-//	faros -scenario darkcomet -save run.log -json report.json
+//	faros -scenario darkcomet -record-out run.ftrc -json report.json
+//	faros -trace run.ftrc                # replay-analyze a recorded trace
 //	faros -file my_attack.json           # bring-your-own-shellcode scenario
 //	faros -scenario evasion_hardcoded_stubs -strict
 //	faros -scenario darkcomet -timeout 30s
+//
+// A trace file (-record-out) is the versioned internal/trace wire format:
+// self-contained (the spec rides in the header), verified end-to-end by
+// checksums, and accepted by farosd's POST /traces for replay analysis
+// under any engine config. -trace analyzes such a file without executing
+// the guest live — the same recording can be re-analyzed under different
+// flags (-strict, -addr-deps) indefinitely.
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -22,8 +31,10 @@ import (
 
 	"faros"
 	"faros/internal/core"
+	"faros/internal/record"
 	"faros/internal/samples"
 	"faros/internal/scenario"
+	"faros/internal/trace"
 )
 
 func main() {
@@ -43,13 +54,24 @@ func runRecovered() (code int) {
 	return run()
 }
 
+// reportOpts carries the output flags shared by the live and trace paths.
+type reportOpts struct {
+	provFormat  string
+	jsonOut     string
+	dotOut      string
+	withCuckoo  bool
+	withMalfind bool
+}
+
 func run() int {
 	name := flag.String("scenario", "", "scenario to analyze")
 	file := flag.String("file", "", "load a custom scenario description (JSON, see samples.ScenarioFile)")
+	traceIn := flag.String("trace", "", "replay-analyze a recorded trace file instead of executing live (-scenario/-file not needed)")
 	list := flag.Bool("list", false, "list scenario names")
 	withCuckoo := flag.Bool("cuckoo", false, "also print the Cuckoo-style report")
 	withMalfind := flag.Bool("malfind", false, "also print the malfind snapshot report")
-	save := flag.String("save", "", "save the recorded nondeterminism log to this file")
+	recordOut := flag.String("record-out", "", "capture the recording to this file (trace wire format, uploadable to farosd /traces)")
+	save := flag.String("save", "", "alias for -record-out")
 	addrDeps := flag.Bool("addr-deps", false, "propagate address dependencies (overtainting ablation)")
 	strict := flag.Bool("strict", false, "enable the StrictExecCheck policy extension")
 	jsonOut := flag.String("json", "", "write the findings as JSON to this file")
@@ -65,13 +87,29 @@ func run() int {
 		defer cancel()
 	}
 
-	specs := faros.Scenarios()
+	plugins := scenario.Plugins{
+		Faros:   &core.Config{PropagateAddrDeps: *addrDeps, StrictExecCheck: *strict},
+		Cuckoo:  *withCuckoo,
+		Malfind: *withMalfind,
+		OSI:     true,
+	}
+	opts := reportOpts{
+		provFormat: *provFormat, jsonOut: *jsonOut, dotOut: *dotOut,
+		withCuckoo: *withCuckoo, withMalfind: *withMalfind,
+	}
+
 	if *list {
 		for _, n := range faros.ScenarioNames() {
 			fmt.Println(n)
 		}
 		return 0
 	}
+
+	if *traceIn != "" {
+		return runFromTrace(ctx, *traceIn, plugins, opts)
+	}
+
+	specs := faros.Scenarios()
 	var spec faros.Spec
 	if *file != "" {
 		loaded, err := samples.LoadScenarioFile(*file)
@@ -92,44 +130,81 @@ func run() int {
 	fmt.Printf("recording scenario %s...\n", spec.Name)
 	log, rec, err := scenario.RecordContext(ctx, spec, nil)
 	if err != nil {
-		var de *scenario.DeadlineError
-		if errors.As(err, &de) {
-			fmt.Fprintf(os.Stderr, "faros: %v (raise -timeout)\n", de)
-		} else {
-			fmt.Fprintf(os.Stderr, "faros: record: %v\n", err)
-		}
+		printRunErr("record", err)
 		return 1
 	}
 	fmt.Printf("recorded %d events over %d instructions (%v wall)\n",
 		len(log.Events), rec.Summary.Instructions, rec.WallTime)
-	if *save != "" {
-		raw, err := log.Marshal()
+	out := *recordOut
+	if out == "" {
+		out = *save
+	}
+	if out != "" {
+		raw, digest, err := scenario.EncodeTrace(spec, log)
 		if err == nil {
-			err = os.WriteFile(*save, raw, 0o644)
+			err = os.WriteFile(out, raw, 0o644)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "faros: save log: %v\n", err)
+			fmt.Fprintf(os.Stderr, "faros: record-out: %v\n", err)
 			return 1
 		}
-		fmt.Printf("log saved to %s (%d bytes)\n", *save, len(raw))
+		fmt.Printf("trace saved to %s (%d bytes, digest %s)\n", out, len(raw), digest)
 	}
 
 	fmt.Println("replaying with FAROS taint analysis...")
-	res, err := scenario.ReplayContext(ctx, spec, log, scenario.Plugins{
-		Faros:   &core.Config{PropagateAddrDeps: *addrDeps, StrictExecCheck: *strict},
-		Cuckoo:  *withCuckoo,
-		Malfind: *withMalfind,
-		OSI:     true,
-	}, nil)
+	res, err := scenario.ReplayContext(ctx, spec, log, plugins, nil)
 	if err != nil {
-		var de *scenario.DeadlineError
-		if errors.As(err, &de) {
-			fmt.Fprintf(os.Stderr, "faros: %v (raise -timeout)\n", de)
-		} else {
-			fmt.Fprintf(os.Stderr, "faros: replay: %v\n", err)
-		}
+		printRunErr("replay", err)
 		return 1
 	}
+	return report(res, opts)
+}
+
+// runFromTrace is the -trace path: decode, verify, and replay-analyze a
+// recorded trace file; no live guest execution happens.
+func runFromTrace(ctx context.Context, path string, plugins scenario.Plugins, opts reportOpts) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faros: %v\n", err)
+		return 1
+	}
+	meta, err := trace.ReadMeta(bytes.NewReader(data))
+	if err != nil {
+		printRunErr("trace", err)
+		return 1
+	}
+	fmt.Printf("replaying trace %s (scenario %s, %d events, %d instructions) with FAROS taint analysis...\n",
+		path, meta.Scenario, meta.Events, meta.FinalInstr)
+	res, err := scenario.ReplayTraceContext(ctx, data, plugins)
+	if err != nil {
+		printRunErr("trace replay", err)
+		return 1
+	}
+	return report(res, opts)
+}
+
+// printRunErr renders a failure with a hint when the error type admits one.
+func printRunErr(stage string, err error) {
+	var de *scenario.DeadlineError
+	var mm *trace.MismatchError
+	var le *trace.LegacyFormatError
+	var dv *record.DivergenceError
+	switch {
+	case errors.As(err, &de):
+		fmt.Fprintf(os.Stderr, "faros: %v (raise -timeout)\n", de)
+	case errors.As(err, &mm):
+		fmt.Fprintf(os.Stderr, "faros: %s: %v (the trace was recorded against a different binary or sample set)\n", stage, mm)
+	case errors.As(err, &le):
+		fmt.Fprintf(os.Stderr, "faros: %s: %v\n", stage, le)
+	case errors.As(err, &dv):
+		fmt.Fprintf(os.Stderr, "faros: %s: %v\n", stage, dv)
+	default:
+		fmt.Fprintf(os.Stderr, "faros: %s: %v\n", stage, err)
+	}
+}
+
+// report prints the analysis outputs shared by the live and trace paths.
+func report(res *scenario.Result, opts reportOpts) int {
 	fmt.Printf("replay finished: %d instructions (%v wall)\n\n", res.Summary.Instructions, res.WallTime)
 	fmt.Print(res.Faros.Report())
 	if res.Flagged() {
@@ -139,8 +214,8 @@ func run() int {
 	// -prov-format text keeps the output exactly as before (the report and
 	// Table II already render the chains); json/dot additionally print the
 	// merged provenance graph for downstream tooling.
-	if *provFormat != "text" {
-		body, err := res.ProvGraph().Encode(*provFormat)
+	if opts.provFormat != "text" {
+		body, err := res.ProvGraph().Encode(opts.provFormat)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "faros: %v\n", err)
 			return 1
@@ -152,31 +227,31 @@ func run() int {
 	fmt.Printf("\ntaint stats: %d tainted bytes, %d lists, %d export-table reads checked\n",
 		st.Taint.TaintedBytes, st.Taint.ListsInterned, st.ExportReads)
 
-	if *jsonOut != "" {
+	if opts.jsonOut != "" {
 		raw, err := res.Faros.JSON()
 		if err == nil {
-			err = os.WriteFile(*jsonOut, raw, 0o644)
+			err = os.WriteFile(opts.jsonOut, raw, 0o644)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "faros: json: %v\n", err)
 			return 1
 		}
-		fmt.Printf("JSON report written to %s\n", *jsonOut)
+		fmt.Printf("JSON report written to %s\n", opts.jsonOut)
 	}
-	if *dotOut != "" && res.Flagged() {
+	if opts.dotOut != "" && res.Flagged() {
 		dot := res.Faros.DOT(res.Faros.Findings()[0])
-		if err := os.WriteFile(*dotOut, []byte(dot), 0o644); err != nil {
+		if err := os.WriteFile(opts.dotOut, []byte(dot), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "faros: dot: %v\n", err)
 			return 1
 		}
-		fmt.Printf("provenance graph written to %s\n", *dotOut)
+		fmt.Printf("provenance graph written to %s\n", opts.dotOut)
 	}
 
-	if *withCuckoo && res.Cuckoo != nil {
+	if opts.withCuckoo && res.Cuckoo != nil {
 		fmt.Println()
 		fmt.Print(res.Cuckoo.String())
 	}
-	if *withMalfind && res.Malfind != nil {
+	if opts.withMalfind && res.Malfind != nil {
 		fmt.Println()
 		fmt.Print(res.Malfind.String())
 	}

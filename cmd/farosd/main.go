@@ -11,18 +11,25 @@
 //	farosd -retention 4096 -retention-age 1h -cache-ttl 30m -cache-lru -degraded-ttl 10s
 //	farosd -store-dir /var/lib/faros -store-max-bytes 1073741824 -store-ttl 168h
 //	farosd -rate-limit 50 -rate-burst 100 -shed-threshold 0.8
+//	farosd -trace-dir /var/lib/faros/traces -trace-max-bytes 4294967296
 //
 // With -store-dir, completed results are persisted with per-entry
 // checksums and atomic writes; a restarted farosd verifies the store,
 // quarantines anything corrupt or torn, and serves every intact entry
 // without re-executing it. With -rate-limit / -shed-threshold, overload
 // sheds new work with 429 + Retry-After while cached and stored results
-// keep serving.
+// keep serving. With -trace-dir, farosd is a replay farm: recorded traces
+// (faros -record-out) are uploaded once, deduplicated by content digest,
+// and analyzed under any number of engine configs without live execution.
 //
 // API:
 //
 //	POST /analyze          {"scenario": "njrat", "wait": true}
 //	POST /analyze          {"scenario_file": {...}, "mode": "live"}
+//	POST /analyze          {"trace": "<digest>", "config": {...}, "wait": true}
+//	POST /traces           raw trace bytes (201 created / 200 dedup)
+//	GET  /traces           stored trace headers
+//	GET  /traces/{digest}  one trace's header (?raw=1 for the bytes)
 //	GET  /jobs/{id}        job status and result (404 once retention expires it)
 //	POST /jobs/{id}/cancel detach this waiter from its job
 //	GET  /results/{hash}   cached/stored result by cache key
@@ -48,6 +55,7 @@ import (
 	"faros/internal/pipeline"
 	"faros/internal/samples"
 	"faros/internal/store"
+	"faros/internal/trace"
 )
 
 func main() {
@@ -68,6 +76,9 @@ func run() int {
 	storeDir := flag.String("store-dir", "", "persistent result store directory (empty disables persistence)")
 	storeMaxBytes := flag.Int64("store-max-bytes", 0, "persistent store size bound; oldest entries evicted beyond it (0 = unbounded)")
 	storeTTL := flag.Duration("store-ttl", 0, "persistent store entry TTL (0 = entries never expire)")
+	traceDir := flag.String("trace-dir", "", "content-addressed trace store directory (empty disables trace ingestion/analysis)")
+	traceMaxBytes := flag.Int64("trace-max-bytes", 0, "trace store size bound; oldest traces evicted beyond it (0 = unbounded)")
+	traceTTL := flag.Duration("trace-ttl", 0, "trace store entry TTL (0 = traces never expire)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client sustained submissions/sec (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 0, "per-client burst size (0 = derived from -rate-limit)")
 	shedThreshold := flag.Float64("shed-threshold", 0, "queue saturation fraction at which new work sheds with 429 (0 = default 0.9, negative disables)")
@@ -85,6 +96,19 @@ func run() int {
 		ss := st.Stats()
 		fmt.Printf("farosd: store %s: %d entries (%d bytes), %d quarantined at scan\n",
 			*storeDir, ss.Entries, ss.Bytes, ss.CorruptQuarantined)
+	}
+
+	var traces *trace.Store
+	if *traceDir != "" {
+		var err error
+		traces, err = trace.OpenStore(trace.StoreConfig{Dir: *traceDir, MaxBytes: *traceMaxBytes, TTL: *traceTTL})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "farosd: %v\n", err)
+			return 2
+		}
+		ts := traces.Stats()
+		fmt.Printf("farosd: trace store %s: %d traces (%d bytes), %d quarantined at scan\n",
+			*traceDir, traces.Len(), ts.Bytes, ts.CorruptQuarantined)
 	}
 
 	admission := pipeline.AdmissionConfig{
@@ -108,6 +132,7 @@ func run() int {
 		JobRetention:    *retention,
 		JobRetentionAge: *retentionAge,
 		Store:           st,
+		Traces:          traces,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "farosd: %v\n", err)
@@ -155,6 +180,11 @@ func run() int {
 	if st != nil {
 		if err := st.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "farosd: store close: %v\n", err)
+		}
+	}
+	if traces != nil {
+		if err := traces.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "farosd: trace store close: %v\n", err)
 		}
 	}
 	fmt.Print(pool.Stats().String())

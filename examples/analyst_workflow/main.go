@@ -31,7 +31,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	raw, err := log.Marshal()
+	raw, _, err := scenario.EncodeTrace(spec, log)
 	if err != nil {
 		return err
 	}

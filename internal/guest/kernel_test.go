@@ -8,6 +8,7 @@ import (
 	"faros/internal/isa"
 	"faros/internal/peimg"
 	"faros/internal/record"
+	"faros/internal/trace"
 )
 
 // buildAndInstall assembles a program and installs it in the kernel FS.
@@ -454,12 +455,12 @@ func TestRecordReplayDeterminism(t *testing.T) {
 			t.Errorf("console[%d]: %q vs %q", i, k1.Console[i], k2.Console[i])
 		}
 	}
-	// Replay serialization round trip.
-	raw, err := log.Marshal()
+	// Replay serialization round trip through the trace codec.
+	raw, _, err := trace.EncodeLog(trace.Meta{}, log)
 	if err != nil {
 		t.Fatal(err)
 	}
-	log2, err := record.UnmarshalLog(raw)
+	_, log2, err := trace.DecodeBytes(raw)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,9 @@ package pipeline
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -10,7 +12,10 @@ import (
 
 	"faros/internal/core"
 	"faros/internal/provgraph"
+	"faros/internal/record"
 	"faros/internal/samples"
+	"faros/internal/scenario"
+	"faros/internal/trace"
 )
 
 // ServerConfig wires the HTTP layer to a scenario namespace. The pipeline
@@ -30,7 +35,10 @@ type ServerConfig struct {
 }
 
 // AnalyzeRequest is the POST /analyze body. Exactly one of Scenario,
-// ScenarioFile, or Spec selects the work.
+// ScenarioFile, Spec, or Trace selects the work. With Trace, one of the
+// spec selectors may additionally be given: the server then verifies the
+// trace was recorded from exactly that spec (409 on mismatch) instead of
+// trusting the embedded one blindly.
 type AnalyzeRequest struct {
 	// Scenario names a built-in corpus entry.
 	Scenario string `json:"scenario,omitempty"`
@@ -41,8 +49,11 @@ type AnalyzeRequest struct {
 	// Spec is a full serialized spec in the canonical wire form
 	// (samples.MarshalSpec).
 	Spec json.RawMessage `json:"spec,omitempty"`
+	// Trace selects a stored trace by digest for analysis-only replay
+	// (mode "trace", the implied default when set).
+	Trace string `json:"trace,omitempty"`
 
-	// Mode is "detect" (default) or "live".
+	// Mode is "detect" (default), "live", or "trace".
 	Mode string `json:"mode,omitempty"`
 	// Config overrides the live-mode engine configuration.
 	Config *core.Config `json:"config,omitempty"`
@@ -61,6 +72,31 @@ type httpError struct {
 }
 
 func (e *httpError) Error() string { return e.msg }
+
+// errStatus maps typed errors onto HTTP statuses. Trace identity
+// mismatches are 409 (the upload and the job disagree — resolvable by the
+// client), malformed or legacy trace blobs are 400, and a replay that
+// failed to reproduce its recording (record.DivergenceError) is 422: the
+// request was well-formed but the trace cannot be processed faithfully.
+// Unrecognized errors map to 500.
+func errStatus(err error) int {
+	var he *httpError
+	var mm *trace.MismatchError
+	var ce *trace.CorruptError
+	var le *trace.LegacyFormatError
+	var dv *record.DivergenceError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.As(err, &mm):
+		return http.StatusConflict
+	case errors.As(err, &ce), errors.As(err, &le):
+		return http.StatusBadRequest
+	case errors.As(err, &dv):
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
 
 // resolveSpec materializes the request's scenario selection.
 func (sc ServerConfig) resolveSpec(req AnalyzeRequest) (samples.Spec, error) {
@@ -104,8 +140,57 @@ func (sc ServerConfig) resolveSpec(req AnalyzeRequest) (samples.Spec, error) {
 	}
 }
 
+// maxTraceUpload bounds a POST /traces body. Encoded traces are a few
+// hundred KB for the built-in corpus; the bound only stops a hostile or
+// accidental multi-GB upload from exhausting memory.
+const maxTraceUpload = 256 << 20
+
+// resolveTrace validates a trace-selector submission: the trace must be
+// stored, its memory-image digest must match the image this binary boots
+// (typed 409 otherwise), and — when the client also names a spec — the
+// trace's spec hash must match that spec (409 again). Returns the trace's
+// embedded spec, which the job carries for display.
+func resolveTrace(p *Pool, sc ServerConfig, req AnalyzeRequest) (samples.Spec, error) {
+	traces := p.Traces()
+	if traces == nil {
+		return samples.Spec{}, &httpError{http.StatusBadRequest, "trace analysis is not enabled (farosd has no trace store)"}
+	}
+	info, ok := traces.Stat(req.Trace)
+	if !ok {
+		return samples.Spec{}, &httpError{http.StatusNotFound,
+			fmt.Sprintf("no stored trace %s (POST /traces to upload, GET /traces to list)", req.Trace)}
+	}
+	spec, err := scenario.VerifyTraceMeta(info.Meta)
+	if err != nil {
+		var mm *trace.MismatchError
+		if errors.As(err, &mm) {
+			p.NoteTraceMismatch()
+		}
+		return samples.Spec{}, err
+	}
+	if req.Scenario != "" || req.ScenarioFile != nil || len(req.Spec) > 0 {
+		want, err := sc.resolveSpec(req)
+		if err != nil {
+			return samples.Spec{}, err
+		}
+		wantHash, err := samples.SpecHash(want)
+		if err != nil {
+			return samples.Spec{}, &httpError{http.StatusBadRequest, err.Error()}
+		}
+		if wantHash != info.SpecHash {
+			p.NoteTraceMismatch()
+			return samples.Spec{}, &trace.MismatchError{Field: "spec hash", Want: info.SpecHash, Got: wantHash}
+		}
+	}
+	return spec, nil
+}
+
 // NewHandler builds the farosd HTTP API over a pool:
 //
+//	POST /traces           upload an encoded trace (verified end-to-end,
+//	                       deduplicated by content digest)
+//	GET  /traces           list stored traces (headers only)
+//	GET  /traces/{digest}  one stored trace's header (?raw=1 for the bytes)
 //	POST /analyze          submit a job (optionally waiting for the result)
 //	GET  /jobs/{id}        job status + result (settled jobs answer from the
 //	                       retention ring until count/age evicts them → 404)
@@ -139,11 +224,7 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 		_ = json.NewEncoder(w).Encode(v)
 	}
 	writeErr := func(w http.ResponseWriter, err error) {
-		status := http.StatusInternalServerError
-		if he, ok := err.(*httpError); ok {
-			status = he.status
-		}
-		writeJSON(w, status, map[string]string{"error": err.Error()})
+		writeJSON(w, errStatus(err), map[string]string{"error": err.Error()})
 	}
 	// writeRetryable is a back-pressure rejection: the client should retry
 	// after the hinted delay (pipeline/client does so automatically).
@@ -166,27 +247,47 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 			writeErr(w, &httpError{http.StatusBadRequest, "body: " + err.Error()})
 			return
 		}
-		spec, err := cfg.resolveSpec(req)
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
 		preq := Request{
-			Spec:    spec,
 			Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 			NoCache: req.NoCache,
 		}
-		switch req.Mode {
-		case "", string(ModeDetect):
-			preq.Mode = ModeDetect
-		case string(ModeLive):
-			preq.Mode = ModeLive
-		default:
-			writeErr(w, &httpError{http.StatusBadRequest, fmt.Sprintf("unknown mode %q", req.Mode)})
-			return
-		}
 		if req.Config != nil {
 			preq.Config = *req.Config
+		}
+		if req.Trace != "" {
+			if req.Mode != "" && req.Mode != string(ModeTrace) {
+				writeErr(w, &httpError{http.StatusBadRequest,
+					fmt.Sprintf("a trace selector implies mode %q, not %q", ModeTrace, req.Mode)})
+				return
+			}
+			spec, err := resolveTrace(p, cfg, req)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			preq.Mode = ModeTrace
+			preq.TraceDigest = req.Trace
+			preq.Spec = spec
+		} else {
+			switch req.Mode {
+			case "", string(ModeDetect):
+				preq.Mode = ModeDetect
+			case string(ModeLive):
+				preq.Mode = ModeLive
+			case string(ModeTrace):
+				writeErr(w, &httpError{http.StatusBadRequest,
+					`mode "trace" needs a trace digest selector (POST /traces to upload one)`})
+				return
+			default:
+				writeErr(w, &httpError{http.StatusBadRequest, fmt.Sprintf("unknown mode %q", req.Mode)})
+				return
+			}
+			spec, err := cfg.resolveSpec(req)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			preq.Spec = spec
 		}
 		var job *Job
 		if adm != nil && adm.shedding(p) {
@@ -225,11 +326,85 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 				writeErr(w, &httpError{http.StatusRequestTimeout, err.Error()})
 				return
 			}
-			writeJSON(w, http.StatusOK, view)
+			// A waited job that failed with a typed error (trace identity
+			// mismatch, replay divergence) answers with the mapped status;
+			// other failures keep the 200-with-error-field contract.
+			status := http.StatusOK
+			if view.State == StateFailed {
+				if jerr := p.JobErr(job); jerr != nil {
+					if st := errStatus(jerr); st != http.StatusInternalServerError {
+						status = st
+					}
+				}
+			}
+			writeJSON(w, status, view)
 			return
 		}
 		view, _ := p.View(job.ID)
 		writeJSON(w, http.StatusAccepted, view)
+	})
+
+	mux.HandleFunc("POST /traces", func(w http.ResponseWriter, r *http.Request) {
+		traces := p.Traces()
+		if traces == nil {
+			writeErr(w, &httpError{http.StatusBadRequest, "trace ingestion is not enabled (farosd has no trace store)"})
+			return
+		}
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTraceUpload))
+		if err != nil {
+			writeErr(w, &httpError{http.StatusBadRequest, "body: " + err.Error()})
+			return
+		}
+		digest, created, err := traces.Put(data)
+		if err != nil {
+			// Corrupt and legacy-format blobs map to 400 via errStatus; a
+			// store write failure stays 500.
+			writeErr(w, err)
+			return
+		}
+		if created {
+			p.NoteTraceIngested(len(data))
+		}
+		info, _ := traces.Stat(digest)
+		status := http.StatusOK // dedup: already stored
+		if created {
+			status = http.StatusCreated
+		}
+		writeJSON(w, status, map[string]any{"digest": digest, "created": created, "trace": info})
+	})
+
+	mux.HandleFunc("GET /traces", func(w http.ResponseWriter, r *http.Request) {
+		traces := p.Traces()
+		if traces == nil {
+			writeJSON(w, http.StatusOK, map[string]any{"traces": []trace.Info{}})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"traces": traces.List()})
+	})
+
+	mux.HandleFunc("GET /traces/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		traces := p.Traces()
+		digest := r.PathValue("digest")
+		if traces == nil {
+			writeErr(w, &httpError{http.StatusNotFound, "no stored trace " + digest})
+			return
+		}
+		if r.URL.Query().Get("raw") != "" {
+			data, ok := traces.Get(digest)
+			if !ok {
+				writeErr(w, &httpError{http.StatusNotFound, "no stored trace " + digest})
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(data)
+			return
+		}
+		info, ok := traces.Stat(digest)
+		if !ok {
+			writeErr(w, &httpError{http.StatusNotFound, "no stored trace " + digest})
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
 	})
 
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {

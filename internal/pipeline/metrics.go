@@ -59,6 +59,7 @@ type counters struct {
 	lat                  *histogram
 	taint                TaintStats
 	prov                 ProvStats
+	trace                TraceStats
 }
 
 // TaintStats aggregates the taint engine's fast-path counters across
@@ -85,6 +86,18 @@ type ProvStats struct {
 	Builds uint64 `json:"builds"`
 	Nodes  uint64 `json:"nodes"`
 	Edges  uint64 `json:"edges"`
+}
+
+// TraceStats counts the replay-farm surface: traces ingested through
+// POST /traces (new store entries only — dedup re-uploads don't count),
+// the encoded bytes those ingests carried, analysis-only replays executed
+// by ModeTrace jobs, and submissions rejected because a trace's identity
+// digests did not match the job.
+type TraceStats struct {
+	Ingested       uint64 `json:"ingested"`
+	Bytes          uint64 `json:"bytes"`
+	Replays        uint64 `json:"replays"`
+	DigestMismatch uint64 `json:"digest_mismatch"`
 }
 
 type metrics struct {
@@ -120,6 +133,8 @@ type snapshotGauges struct {
 	waitersCoalesced int
 	storeEnabled     bool
 	store            store.Stats
+	traceEnabled     bool
+	traces           store.Stats
 }
 
 // Stats is an immutable snapshot of the pool's observable state. Both the
@@ -159,6 +174,13 @@ type Stats struct {
 	// totals).
 	StoreEnabled bool        `json:"store_enabled"`
 	Store        store.Stats `json:"store"`
+
+	// TraceStoreEnabled reports whether a trace store is configured;
+	// TraceStore is the underlying content-addressed store's counters and
+	// Trace the replay-farm counters (ingests, replays, mismatches).
+	TraceStoreEnabled bool        `json:"trace_store_enabled"`
+	TraceStore        store.Stats `json:"trace_store"`
+	Trace             TraceStats  `json:"trace"`
 
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
@@ -200,6 +222,9 @@ func (m *metrics) snapshot(g snapshotGauges) Stats {
 		AdmissionRateLimited: m.c.admissionRateLimited,
 		StoreEnabled:         g.storeEnabled,
 		Store:                g.store,
+		TraceStoreEnabled:    g.traceEnabled,
+		TraceStore:           g.traces,
+		Trace:                m.c.trace,
 		CacheHits:            m.c.cacheHits,
 		CacheMisses:          m.c.cacheMisses,
 		CacheExpired:         m.c.cacheExpired,
@@ -255,6 +280,11 @@ func (s Stats) String() string {
 		fmt.Fprintf(&sb, "store: %d entries (%d bytes), %d hits, %d misses, %d quarantined, %d gc-evicted\n",
 			s.Store.Entries, s.Store.Bytes, s.Store.Hits, s.Store.Misses,
 			s.Store.CorruptQuarantined, s.Store.GCEvicted)
+	}
+	if s.TraceStoreEnabled {
+		fmt.Fprintf(&sb, "traces: %d stored (%d bytes on disk), %d ingested (%d bytes), %d replays, %d digest mismatches\n",
+			s.TraceStore.Entries, s.TraceStore.Bytes,
+			s.Trace.Ingested, s.Trace.Bytes, s.Trace.Replays, s.Trace.DigestMismatch)
 	}
 	if s.AdmissionShed+s.AdmissionRateLimited > 0 {
 		fmt.Fprintf(&sb, "admission: %d shed, %d rate-limited\n", s.AdmissionShed, s.AdmissionRateLimited)
@@ -323,6 +353,16 @@ func (s Stats) Prometheus() string {
 		counter("faros_store_corrupt_quarantined_total", "Store entries that failed verification and were quarantined.", s.Store.CorruptQuarantined)
 		counter("faros_store_gc_evicted_total", "Store entries dropped by TTL or size garbage collection.", s.Store.GCEvicted)
 	}
+	if s.TraceStoreEnabled {
+		gauge("faros_trace_entries", "Traces in the content-addressed trace store.", s.TraceStore.Entries)
+		gauge("faros_trace_store_bytes", "On-disk bytes held by the trace store.", int(s.TraceStore.Bytes))
+		counter("faros_trace_store_corrupt_quarantined_total", "Trace store entries that failed verification and were quarantined.", s.TraceStore.CorruptQuarantined)
+		counter("faros_trace_store_gc_evicted_total", "Trace store entries dropped by TTL or size garbage collection.", s.TraceStore.GCEvicted)
+	}
+	counter("faros_trace_ingested_total", "Traces ingested through POST /traces (new store entries only).", s.Trace.Ingested)
+	counter("faros_trace_bytes_total", "Encoded bytes of ingested traces.", s.Trace.Bytes)
+	counter("faros_trace_replays_total", "Analysis-only replays executed from stored traces.", s.Trace.Replays)
+	counter("faros_trace_digest_mismatch_total", "Trace submissions rejected on spec-hash or memory-image digest mismatch.", s.Trace.DigestMismatch)
 	counter("faros_cache_hits_total", "Submissions served from the result cache.", s.CacheHits)
 	counter("faros_cache_misses_total", "Cacheable submissions that missed the cache.", s.CacheMisses)
 	counter("faros_cache_expired_total", "Cache entries dropped at lookup because their TTL passed.", s.CacheExpired)

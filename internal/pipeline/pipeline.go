@@ -34,6 +34,7 @@ import (
 	"faros/internal/samples"
 	"faros/internal/scenario"
 	"faros/internal/store"
+	"faros/internal/trace"
 )
 
 // Mode selects the analysis workflow a job runs.
@@ -48,6 +49,12 @@ const (
 	// (the cheaper path the corpus sweeps use; the guest is deterministic,
 	// so results match the record+replay path).
 	ModeLive Mode = "live"
+	// ModeTrace is analysis-only replay: the job loads a stored trace by
+	// digest, verifies its identity digests, and replays it with the FAROS
+	// engine attached — no live guest execution. One trace can be analyzed
+	// under many engine configs; each result caches under the
+	// (trace digest, config) composite key.
+	ModeTrace Mode = "trace"
 )
 
 // Request describes one analysis job.
@@ -55,8 +62,13 @@ type Request struct {
 	Spec samples.Spec
 	// Mode defaults to ModeDetect.
 	Mode Mode
-	// Config is the engine configuration for ModeLive (ModeDetect always
-	// uses the paper's default policy, like scenario.Detect).
+	// TraceDigest selects the stored trace a ModeTrace job replays. The
+	// job's cache identity is the digest itself (the trace embeds its
+	// spec), composed with the engine config. Ignored in other modes.
+	TraceDigest string
+	// Config is the engine configuration for ModeLive and ModeTrace
+	// (ModeDetect always uses the paper's default policy, like
+	// scenario.Detect).
 	Config core.Config
 	// Timeout bounds the job's wall time (0 = the pool default). On
 	// expiry the guest is preempted cooperatively and the job fails with
@@ -224,6 +236,9 @@ type Config struct {
 	// same store directory serves previously completed work from disk
 	// with zero re-execution. Degraded results are never persisted.
 	Store *store.Store
+	// Traces is the content-addressed trace store ModeTrace jobs load
+	// from (nil disables trace analysis).
+	Traces *trace.Store
 	// Runner overrides the analysis function (tests only).
 	Runner Runner
 }
@@ -327,7 +342,7 @@ func New(cfg Config) (*Pool, error) {
 		cfg.JobRetentionAge = 15 * time.Minute
 	}
 	if cfg.Runner == nil {
-		cfg.Runner = runScenario
+		cfg.Runner = scenarioRunner(cfg.Traces)
 	}
 	p := &Pool{
 		cfg:       cfg,
@@ -346,31 +361,60 @@ func New(cfg Config) (*Pool, error) {
 	return p, nil
 }
 
-// runScenario is the default Runner.
-func runScenario(ctx context.Context, req Request) (*scenario.Result, error) {
-	if req.Mode == ModeLive {
-		cfg := req.Config
-		return scenario.RunLiveContext(ctx, req.Spec, scenario.Plugins{Faros: &cfg}, nil)
+// scenarioRunner builds the default Runner over an optional trace store.
+// ModeTrace loads the encoded trace by digest and replays it analysis-only
+// (FAROS attached, no live guest execution); the replay path re-verifies
+// the trace's identity digests, so a store entry recorded against a
+// different binary fails typed (*trace.MismatchError) instead of
+// diverging silently.
+func scenarioRunner(traces *trace.Store) Runner {
+	return func(ctx context.Context, req Request) (*scenario.Result, error) {
+		switch req.Mode {
+		case ModeLive:
+			cfg := req.Config
+			return scenario.RunLiveContext(ctx, req.Spec, scenario.Plugins{Faros: &cfg}, nil)
+		case ModeTrace:
+			if traces == nil {
+				return nil, errors.New("pipeline: no trace store configured")
+			}
+			data, ok := traces.Get(req.TraceDigest)
+			if !ok {
+				return nil, fmt.Errorf("pipeline: trace %s is no longer stored (expired or quarantined)", req.TraceDigest)
+			}
+			cfg := req.Config
+			return scenario.ReplayTraceContext(ctx, data, scenario.Plugins{Faros: &cfg})
+		}
+		return scenario.DetectContext(ctx, req.Spec, nil)
 	}
-	return scenario.DetectContext(ctx, req.Spec, nil)
 }
 
-// cacheKey derives the deterministic identity of a request: the spec hash
-// plus the analysis mode and engine configuration (the same spec under a
-// different policy is different work). ModeDetect ignores the engine
-// config — it always runs the paper's default policy — so the key
-// normalizes it to zero there; otherwise identical detect requests that
-// happened to carry different (ignored) configs would spuriously miss.
-// Returns "" for uncacheable specs (endpoint types without a wire
-// encoding).
+// cacheKey derives the deterministic identity of a request: the work's
+// content identity plus the analysis mode and engine configuration (the
+// same work under a different policy is different work). For spec-driven
+// modes the identity is the spec hash; for ModeTrace it is the trace
+// digest — the trace embeds its spec, so the digest subsumes it.
+// ModeDetect ignores the engine config — it always runs the paper's
+// default policy — so the key normalizes it to zero there; otherwise
+// identical detect requests that happened to carry different (ignored)
+// configs would spuriously miss. Returns "" for uncacheable requests
+// (endpoint types without a wire encoding, trace jobs with no digest).
 func cacheKey(req Request) string {
-	specHash, err := samples.SpecHash(req.Spec)
-	if err != nil {
-		return ""
-	}
 	mode := req.Mode
 	if mode == "" {
 		mode = ModeDetect
+	}
+	var id string
+	if mode == ModeTrace {
+		if req.TraceDigest == "" {
+			return ""
+		}
+		id = req.TraceDigest
+	} else {
+		specHash, err := samples.SpecHash(req.Spec)
+		if err != nil {
+			return ""
+		}
+		id = specHash
 	}
 	cfg := req.Config
 	if mode == ModeDetect {
@@ -380,7 +424,7 @@ func cacheKey(req Request) string {
 	if err != nil {
 		return ""
 	}
-	sum := sha256.Sum256([]byte(specHash + "|" + string(mode) + "|" + string(cfgJSON)))
+	sum := sha256.Sum256([]byte(id + "|" + string(mode) + "|" + string(cfgJSON)))
 	return hex.EncodeToString(sum[:])
 }
 
@@ -554,6 +598,32 @@ func (p *Pool) StoreErr() error {
 	return p.cfg.Store.Err()
 }
 
+// Traces returns the configured trace store (nil when trace analysis is
+// disabled). The HTTP layer serves the /traces endpoints through it.
+func (p *Pool) Traces() *trace.Store { return p.cfg.Traces }
+
+// NoteTraceIngested records a successful trace upload (new store entry)
+// of n encoded bytes.
+func (p *Pool) NoteTraceIngested(n int) {
+	p.metrics.add(func(m *counters) { m.trace.Ingested++; m.trace.Bytes += uint64(n) })
+}
+
+// NoteTraceMismatch records a trace submission rejected because its spec
+// hash or memory-image digest did not match the job.
+func (p *Pool) NoteTraceMismatch() {
+	p.metrics.add(func(m *counters) { m.trace.DigestMismatch++ })
+}
+
+// JobErr returns a waiter handle's typed terminal error (nil while
+// unsettled or when it settled cleanly). The HTTP layer uses it to map
+// typed failures — trace mismatches, replay divergences — onto status
+// codes after a waited job fails.
+func (p *Pool) JobErr(job *Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return job.err
+}
+
 // BeginDrain stops the pool accepting new work (Submit returns
 // ErrDraining for anything that is not a cache/store hit or a coalesce
 // onto an in-flight run) while letting queued and running jobs finish.
@@ -637,6 +707,9 @@ func (p *Pool) runJob(r *run) {
 		defer cancel()
 		return p.cfg.Runner(ctx, req)
 	}()
+	if req.Mode == ModeTrace {
+		p.metrics.add(func(m *counters) { m.trace.Replays++ })
+	}
 
 	p.mu.Lock()
 	persist := p.finishRunLocked(r, res, err)
@@ -1047,6 +1120,10 @@ func (p *Pool) Stats() Stats {
 	if p.cfg.Store != nil {
 		g.storeEnabled = true
 		g.store = p.cfg.Store.Stats()
+	}
+	if p.cfg.Traces != nil {
+		g.traceEnabled = true
+		g.traces = p.cfg.Traces.Stats()
 	}
 	return p.metrics.snapshot(g)
 }

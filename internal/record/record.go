@@ -12,8 +12,6 @@
 package record
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sort"
 )
@@ -71,29 +69,12 @@ type Event struct {
 	Sum uint32
 }
 
-// Log is a completed recording.
+// Log is a completed recording. Serialization lives in internal/trace —
+// the versioned trace wire format is the only encoding of an execution.
 type Log struct {
 	Scenario   string
 	Events     []Event
 	FinalInstr uint64
-}
-
-// Marshal serializes the log (gob).
-func (l *Log) Marshal() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(l); err != nil {
-		return nil, fmt.Errorf("record: encode log: %w", err)
-	}
-	return buf.Bytes(), nil
-}
-
-// UnmarshalLog parses a serialized log.
-func UnmarshalLog(data []byte) (*Log, error) {
-	var l Log
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&l); err != nil {
-		return nil, fmt.Errorf("record: decode log: %w", err)
-	}
-	return &l, nil
 }
 
 // Queue is a time-ordered event queue. The kernel pops due events between

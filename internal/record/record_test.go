@@ -65,7 +65,7 @@ func TestNewQueueSortsSeed(t *testing.T) {
 	}
 }
 
-func TestRecorderAndLogRoundTrip(t *testing.T) {
+func TestRecorderCopiesEventData(t *testing.T) {
 	r := NewRecorder("test-scenario")
 	buf := []byte{1, 2, 3}
 	r.Delivered(Event{At: 100, Kind: EvPacketIn, Flow: 7, Data: buf})
@@ -77,23 +77,6 @@ func TestRecorderAndLogRoundTrip(t *testing.T) {
 	}
 	if log.Events[0].Data[0] != 1 {
 		t.Error("event data aliased, not copied")
-	}
-	raw, err := log.Marshal()
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := UnmarshalLog(raw)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.Scenario != log.Scenario || len(got.Events) != 2 || got.Events[1].Kind != EvKeyboard {
-		t.Errorf("round trip = %+v", got)
-	}
-}
-
-func TestUnmarshalLogRejectsGarbage(t *testing.T) {
-	if _, err := UnmarshalLog([]byte("junk")); err == nil {
-		t.Error("garbage accepted")
 	}
 }
 

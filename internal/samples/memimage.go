@@ -1,0 +1,45 @@
+package samples
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// MemImageDigest returns the SHA-256 (hex) of the initial guest
+// memory/filesystem image a run of this spec boots from: the seed files
+// every kernel installs plus the spec's own program images, in a canonical
+// order with length-prefixed fields so no two distinct images collide by
+// concatenation.
+//
+// The digest names the execution environment a recording depends on. A
+// trace records only nondeterministic inputs; everything else — the
+// documents on disk, the sample binaries — must be bit-identical at replay
+// or the guest diverges. Embedding this digest in the trace header lets a
+// replay host detect "recorded against a different image" up front as a
+// typed error instead of a divergence deep into the run.
+func MemImageDigest(s Spec) string {
+	h := sha256.New()
+	writeBlob := func(b []byte) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(b)))
+		h.Write(n[:])
+		h.Write(b)
+	}
+	seeds := SeedFiles()
+	names := make([]string, 0, len(seeds))
+	for name := range seeds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeBlob([]byte(name))
+		writeBlob(seeds[name])
+	}
+	for _, p := range s.Programs {
+		writeBlob([]byte(p.Path))
+		writeBlob(p.Bytes)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -414,8 +414,7 @@ func MeasurePerf(w samples.PerfWorkload) (PerfRow, error) {
 	if plainT > 0 {
 		row.Slowdown = float64(farosT) / float64(plainT)
 	}
-	raw, err := log.Marshal()
-	if err == nil {
+	if raw, _, err := EncodeTrace(w.Spec, log); err == nil {
 		row.RecordedBytes = len(raw)
 	}
 	return row, nil
