@@ -1,0 +1,85 @@
+// Command benchgate is the CI bench-regression gate. It re-runs the perf
+// experiment (the measurement path behind BENCH_8.json) and compares the
+// fresh guest-execution numbers against the committed snapshot: the gate
+// fails when `faros_ns_per_op` regresses past the tolerance. Improvements
+// always pass — the snapshot is a ceiling, not a pin.
+//
+// Usage:
+//
+//	benchgate                          # compare against ./BENCH_8.json, 25% tolerance
+//	benchgate -baseline BENCH_8.json -tolerance 0.25 -retries 2
+//
+// Timing on shared runners is noisy, so a failing attempt is retried
+// (fresh measurement each time, fastest-of-N inside each attempt already);
+// only when every attempt regresses does the gate fail. The slowdown
+// ratio (FAROS vs plain replay of the same workload) is printed alongside
+// as the machine-independent cross-check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"faros/internal/experiments"
+)
+
+// benchSnapshot is the slice of the BENCH_8.json payload the gate reads.
+type benchSnapshot struct {
+	GuestExecution struct {
+		FarosNSPerOp int64   `json:"faros_ns_per_op"`
+		PlainNSPerOp int64   `json:"plain_ns_per_op"`
+		Slowdown     float64 `json:"slowdown"`
+	} `json:"guest_execution"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_8.json", "committed perf snapshot to gate against")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression of faros_ns_per_op")
+	retries := flag.Int("retries", 2, "re-measurements before declaring a regression")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var base benchSnapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	if base.GuestExecution.FarosNSPerOp <= 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s has no guest_execution.faros_ns_per_op\n", *baselinePath)
+		os.Exit(2)
+	}
+	limit := int64(float64(base.GuestExecution.FarosNSPerOp) * (1 + *tolerance))
+
+	var fresh benchSnapshot
+	for attempt := 0; ; attempt++ {
+		out, err := experiments.RunWith("perf", experiments.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: perf experiment: %v\n", err)
+			os.Exit(2)
+		}
+		if err := json.Unmarshal([]byte(out), &fresh); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: parsing perf output: %v\n", err)
+			os.Exit(2)
+		}
+		got := fresh.GuestExecution.FarosNSPerOp
+		fmt.Printf("benchgate: attempt %d: faros_ns_per_op %d (baseline %d, limit %d, slowdown %.2fx vs baseline %.2fx)\n",
+			attempt+1, got, base.GuestExecution.FarosNSPerOp, limit,
+			fresh.GuestExecution.Slowdown, base.GuestExecution.Slowdown)
+		if got <= limit {
+			fmt.Println("benchgate: ok")
+			return
+		}
+		if attempt >= *retries {
+			fmt.Fprintf(os.Stderr, "benchgate: regression: faros_ns_per_op %d exceeds %d (baseline %d +%.0f%%) after %d attempts\n",
+				got, limit, base.GuestExecution.FarosNSPerOp, 100**tolerance, attempt+1)
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: over limit, re-measuring")
+	}
+}

@@ -11,6 +11,7 @@
 //	farosbench -json                # machine-readable per-experiment results
 //	farosbench -exp fig7 -prov-format json  # append the provenance graph
 //	farosbench -server http://host:7373     # sweep the corpus remotely
+//	farosbench -exp perf -cpuprofile cpu.out -memprofile mem.out  # profile
 //
 // A failing experiment does not abort the sweep: every experiment runs,
 // and the exit code is non-zero if any of them failed.
@@ -28,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -70,7 +73,37 @@ func run() int {
 	provFormat := flag.String("prov-format", "text", "provenance graph rendering appended to table2/fig7-10 output: text (none), json, or dot")
 	server := flag.String("server", "", "sweep the corpus against a remote farosd at this base URL instead of running locally")
 	sweepConc := flag.Int("sweep-concurrency", 8, "concurrent submissions for the remote sweep")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the experiments finish")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "farosbench: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "farosbench: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "farosbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "farosbench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *server != "" {
 		return runRemote(*server, *sweepConc, *jsonOut)

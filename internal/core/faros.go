@@ -96,6 +96,24 @@ type Finding struct {
 	Prov *provgraph.Graph
 }
 
+// BlockStats counts block-dispatch activity: the VM's predecoded block
+// cache plus the engine's taint-no-op fast path.
+type BlockStats struct {
+	// Built counts basic blocks decoded and lowered to micro-ops.
+	Built uint64
+	// Hits counts block dispatches served from the cache.
+	Hits uint64
+	// Invalidated counts frames whose cached blocks were dropped by
+	// self-modifying-code signals.
+	Invalidated uint64
+	// FusedOps counts superinstructions (fused micro-ops) retired.
+	FusedOps uint64
+	// UntaintedFastBlocks counts block executions that ran start to finish
+	// on the taint-no-op dispatch loop (clean register bank, every touched
+	// page clean) without a single propagation call.
+	UntaintedFastBlocks uint64
+}
+
 // Stats summarizes engine activity for the performance and ablation tables.
 type Stats struct {
 	Taint         taint.Stats
@@ -109,6 +127,8 @@ type Stats struct {
 	ProvGraphBuilds uint64
 	ProvGraphNodes  uint64
 	ProvGraphEdges  uint64
+	// Block counts block-dispatch activity.
+	Block BlockStats
 }
 
 // pageTLB is a one-entry software TLB over Space.FrameOf: the engine's
@@ -117,6 +137,12 @@ type Stats struct {
 // caches a pointer to the frame's live-taint counter, letting the hot
 // propagation path answer "is this page untainted" with a single load —
 // accurate even while taint flows elsewhere, with no epoch invalidation.
+//
+// The engine keeps three entries, split by access stream — loads, stores,
+// and instruction bytes — so a copy loop (load page A, store page B) or a
+// policy check against the code page doesn't evict the entry the next
+// access needs. The split is pure caching: every entry answers through the
+// same FrameOf walk, so which slot a helper uses never changes results.
 type pageTLB struct {
 	space *mem.Space
 	gen   uint64
@@ -125,10 +151,55 @@ type pageTLB struct {
 	ok    bool
 	// live points at the frame's shadow live counter; nil means the frame
 	// had no shadow page when the entry was filled, valid while the store's
-	// PageAllocs count stays at allocGen.
+	// PageAllocs count stays at allocGen. ids aliases the same shadow
+	// page's bytes (nil exactly when live is nil) — read-only, all writes
+	// go through the store.
 	live     *int32
 	allocGen uint32
+	ids      []taint.ProvID
+	// data aliases the frame's physical bytes when the page's permission
+	// allows this slot's access kind (read for the load slot, write for the
+	// store slot); nil otherwise. A probe hit with data set lets the fused
+	// executor read or write guest memory directly — the probe already did
+	// the translation and the permission was checked at fill time (any
+	// mapping or protection change bumps the space generation, killing the
+	// entry).
+	data *[mem.PageSize]byte
+	// noBlocks records that the frame was proven block-free (by
+	// invalidating it) when the machine's built-count was builtAt; while
+	// the count is unchanged, stores through data may skip InvalidateFrame.
+	noBlocks bool
+	builtAt  uint64
 }
+
+// probe classifies [va, va+n) against this entry without filling it: +1
+// means a hit on a currently clean page, -1 a hit on a (possibly) tainted
+// page — pa then addresses the range's shadow bytes — and 0 a miss or a
+// page-straddling range. Small enough for the compiler to inline into the
+// fused dispatch loop.
+func (t *pageTLB) probe(s *mem.Space, gen uint64, va, n uint32, allocs uint32) (uint64, int) {
+	if !t.ok || t.space != s || t.vpn != va>>mem.PageShift || t.gen != gen || va%mem.PageSize > mem.PageSize-n {
+		return 0, 0
+	}
+	pa := t.base | uint64(va%mem.PageSize)
+	if t.live != nil {
+		if *t.live == 0 {
+			return pa, 1
+		}
+		return pa, -1
+	}
+	if t.allocGen == allocs {
+		return pa, 1
+	}
+	return pa, -1
+}
+
+// Page-TLB slot indices, one per access stream.
+const (
+	tlbLoad  = 0 // data loads (and pops)
+	tlbStore = 1 // data stores (and pushes/calls)
+	tlbCode  = 2 // instruction-byte provenance
+)
 
 // instrProvEntry caches the provenance of one instruction's bytes, valid
 // while the store's shadow change count still equals changes.
@@ -143,18 +214,21 @@ type FAROS struct {
 	cfg Config
 	k   *guest.Kernel
 
-	banks     map[uint32]*taint.RegBank
-	bank      *taint.RegBank
-	curTag    taint.Tag
-	haveCur   bool
-	exportTag taint.Tag
+	banks       map[uint32]*taint.RegBank
+	bank        *taint.RegBank
+	bankClean   bool   // bank known all-untainted; false may just mean "unknown"
+	bankRecheck uint32 // entries since dirty, for the throttled rescan
+	curTag      taint.Tag
+	haveCur     bool
+	exportTag   taint.Tag
 
 	findings    []Finding
 	findingSeen map[string]struct{}
 	execChecked map[uint64]struct{} // CR3<<32|vpn pages already strict-checked
+	lastExecKey uint64              // one-entry memo over execChecked (page locality)
 	trace       *lifecycleTrace     // optional byte-lifecycle watch
 
-	tlb     pageTLB
+	tlb     [3]pageTLB
 	ipCache map[uint64]instrProvEntry // instr PA → provenance at a change count
 
 	// One-entry stamp cache: tainted store loops re-stamp the same list
@@ -171,6 +245,7 @@ type FAROS struct {
 	provBuilds    uint64
 	provNodes     uint64
 	provEdges     uint64
+	fastBlocks    uint64 // block executions completed on the taint-no-op loop
 }
 
 var _ guest.TaintBridge = (*FAROS)(nil)
@@ -185,6 +260,7 @@ func Attach(k *guest.Kernel, cfg Config) *FAROS {
 		banks:       make(map[uint32]*taint.RegBank),
 		findingSeen: make(map[string]struct{}),
 		execChecked: make(map[uint64]struct{}),
+		lastExecKey: ^uint64(0),
 		ipCache:     make(map[uint64]instrProvEntry),
 	}
 	f.exportTag = f.T.ExportTableTag()
@@ -224,6 +300,7 @@ func (f *FAROS) Flagged() bool { return len(f.findings) > 0 }
 
 // Stats returns the engine counters.
 func (f *FAROS) Stats() Stats {
+	vb := f.k.M.BlockStats()
 	return Stats{
 		Taint:         f.T.Stats(),
 		Instructions:  f.instrs,
@@ -235,6 +312,14 @@ func (f *FAROS) Stats() Stats {
 		ProvGraphBuilds: f.provBuilds,
 		ProvGraphNodes:  f.provNodes,
 		ProvGraphEdges:  f.provEdges,
+
+		Block: BlockStats{
+			Built:               vb.Built,
+			Hits:                vb.Hits,
+			Invalidated:         vb.Invalidated,
+			FusedOps:            vb.FusedOps,
+			UntaintedFastBlocks: f.fastBlocks,
+		},
 	}
 }
 
@@ -288,30 +373,46 @@ func physAt(s *mem.Space, va uint32) (uint64, bool) {
 	return uint64(frame)<<mem.PageShift | uint64(va%mem.PageSize), true
 }
 
-// pagePA is physAt through the engine's one-entry TLB. Sequential accesses
+// pagePA is physAt through the engine's page TLB. Sequential accesses
 // to the same virtual page — the propagation common case — skip the page
 // table entirely; any mapping change bumps the space generation and drops
 // the entry.
-func (f *FAROS) pagePA(s *mem.Space, va uint32) (uint64, bool) {
-	t := &f.tlb
+func (f *FAROS) pagePA(s *mem.Space, va uint32, slot int) (uint64, bool) {
+	t := &f.tlb[slot]
 	if t.ok && t.space == s && t.vpn == va>>mem.PageShift && t.gen == s.Gen() {
 		return t.base | uint64(va%mem.PageSize), true
 	}
-	return f.pagePAFill(s, va)
+	return f.pagePAFill(s, va, slot)
 }
 
 // pagePAFill is the TLB miss path: walk the page table and refill the
-// entry, including the frame's taint summary.
-func (f *FAROS) pagePAFill(s *mem.Space, va uint32) (uint64, bool) {
+// slot's entry, including the frame's taint summary.
+func (f *FAROS) pagePAFill(s *mem.Space, va uint32, slot int) (uint64, bool) {
 	frame, ok := s.FrameOf(va)
 	if !ok {
 		return 0, false
 	}
-	t := &f.tlb
+	t := &f.tlb[slot]
 	t.space, t.gen, t.vpn, t.ok = s, s.Gen(), va>>mem.PageShift, true
 	t.base = uint64(frame) << mem.PageShift
 	t.live = f.T.LivePtr(uint64(frame))
 	t.allocGen = f.T.PageAllocs()
+	t.ids = f.T.PageIDs(uint64(frame))
+	t.data, t.noBlocks, t.builtAt = nil, false, 0
+	var need mem.Perm
+	switch slot {
+	case tlbLoad:
+		need = mem.PermRead
+	case tlbStore:
+		need = mem.PermWrite
+	}
+	if need != 0 {
+		if perm, ok := s.PermOf(va); ok && perm&need != 0 {
+			if fr, err := f.k.M.Phys().Frame(frame); err == nil {
+				t.data = fr
+			}
+		}
+	}
 	return t.base | uint64(va%mem.PageSize), true
 }
 
@@ -322,8 +423,8 @@ func (f *FAROS) pagePAFill(s *mem.Space, va uint32) (uint64, bool) {
 // become no-ops without touching the shadow at all. The live-counter load
 // stays accurate while taint flows through other pages, so the common
 // untainted/tainted working-set split keeps its fast path.
-func (f *FAROS) rangeUntainted(s *mem.Space, va uint32, n uint32) bool {
-	t := &f.tlb
+func (f *FAROS) rangeUntainted(s *mem.Space, va uint32, n uint32, slot int) bool {
+	t := &f.tlb[slot]
 	if !(t.ok && t.space == s && t.vpn == va>>mem.PageShift && t.gen == s.Gen() &&
 		va%mem.PageSize <= mem.PageSize-n) {
 		return false
@@ -345,7 +446,7 @@ func (f *FAROS) memGetRange(s *mem.Space, va uint32, n int) taint.ProvID {
 		if chunk > n {
 			chunk = n
 		}
-		if pa, ok := f.pagePA(s, va); ok {
+		if pa, ok := f.pagePA(s, va, tlbLoad); ok {
 			out = f.T.MemUnionFrom(out, pa, chunk)
 		}
 		va += uint32(chunk)
@@ -362,7 +463,7 @@ func (f *FAROS) memSetRange(s *mem.Space, va uint32, n int, id taint.ProvID) {
 		if chunk > n {
 			chunk = n
 		}
-		if pa, ok := f.pagePA(s, va); ok {
+		if pa, ok := f.pagePA(s, va, tlbStore); ok {
 			f.T.MemSetRange(pa, chunk, id)
 		}
 		va += uint32(chunk)
@@ -404,28 +505,7 @@ func (f *FAROS) BeforeInstr(m *vm.Machine, pc uint32, in isa.Instruction) {
 		if in.Op == isa.OpLdb {
 			size = 1
 		}
-		// The loaded bytes' provenance is computed once here and flows both
-		// into the destination register and into the policy check below —
-		// checkPolicy no longer recomputes the same range. A load from a
-		// known-untainted page skips the shadow walk entirely.
-		var raw taint.ProvID
-		if !f.rangeUntainted(space, addr, uint32(size)) {
-			raw = f.memGetRange(space, addr, size)
-		}
-		id := raw
-		if f.cfg.PropagateAddrDeps {
-			// Address dependency: the pointer's taint flows into the value
-			// (the overtainting ablation).
-			id = f.T.Union(id, bank[in.Src&7])
-			if in.Mode == isa.ModeRX {
-				id = f.T.Union(id, bank[in.IndexReg()])
-			}
-		}
-		bank[in.Dst&7] = id
-		f.loadsChecked++
-		if f.T.Has(raw, taint.TagExportTable) {
-			f.checkPolicy(m, pc, in, addr, raw, size)
-		}
+		f.taintLoadAt(m, pc, in, addr, size)
 
 	case isa.OpSt, isa.OpStb:
 		addr := m.CPU.Regs[in.Dst&7] + in.Imm
@@ -436,11 +516,7 @@ func (f *FAROS) BeforeInstr(m *vm.Machine, pc uint32, in isa.Instruction) {
 		if in.Op == isa.OpStb {
 			size = 1
 		}
-		id := f.stampStore(bank[in.Src&7])
-		// Storing untainted over a known-untainted page is a no-op.
-		if id != 0 || !f.rangeUntainted(space, addr, uint32(size)) {
-			f.memSetRange(space, addr, size, id)
-		}
+		f.taintStoreAt(space, addr, size, bank[in.Src&7])
 
 	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpMul, isa.OpShl, isa.OpShr:
 		if in.Mode == isa.ModeRR {
@@ -465,34 +541,187 @@ func (f *FAROS) BeforeInstr(m *vm.Machine, pc uint32, in isa.Instruction) {
 		// deliberately not propagated — Section IV).
 
 	case isa.OpPush:
-		addr := m.CPU.Regs[isa.ESP] - 4
 		var id taint.ProvID
 		if in.Mode == isa.ModeRR {
 			id = bank[in.Dst&7]
 		}
-		id = f.stampStore(id)
-		if id != 0 || !f.rangeUntainted(space, addr, 4) {
-			f.memSetRange(space, addr, 4, id)
-		}
+		f.taintStoreAt(space, m.CPU.Regs[isa.ESP]-4, 4, id)
 
 	case isa.OpPop:
-		sp := m.CPU.Regs[isa.ESP]
-		if f.rangeUntainted(space, sp, 4) {
-			bank[in.Dst&7] = 0
-		} else {
-			bank[in.Dst&7] = f.memGetRange(space, sp, 4)
-		}
+		f.taintPop(space, m.CPU.Regs[isa.ESP], uint8(in.Dst&7))
 
 	case isa.OpCall:
-		// The pushed return address is a constant.
-		if sp := m.CPU.Regs[isa.ESP] - 4; !f.rangeUntainted(space, sp, 4) {
-			f.memSetRange(space, sp, 4, 0)
-		}
+		f.taintCall(space, m.CPU.Regs[isa.ESP]-4)
 
 	case isa.OpSyscall:
 		// Kernel return values are untainted; data-carrying results are
 		// tagged through the bridge instead.
 		bank[isa.EAX] = 0
+	}
+}
+
+// taintLoadAt mirrors a load's shadow dataflow (Table I) given its resolved
+// effective address, and applies the detection policy. The loaded bytes'
+// provenance is computed once and flows both into the destination register
+// and into the policy check — checkPolicy never recomputes the range. A
+// load from a known-untainted page skips the shadow walk entirely. Shared
+// by the per-instruction reference path and the fused block executor.
+func (f *FAROS) taintLoadAt(m *vm.Machine, pc uint32, in isa.Instruction, addr uint32, size int) {
+	space := m.Space()
+	bank := f.bank
+	var raw taint.ProvID
+	// Hand-inlined TLB probe: on a hit the tainted case goes straight to
+	// MemUnionFrom with the translated address — one probe, no loop setup —
+	// and the clean case keeps raw = 0. The cold path fills through
+	// memGetRange exactly as before.
+	if t := &f.tlb[tlbLoad]; t.ok && t.space == space && t.vpn == addr>>mem.PageShift &&
+		t.gen == space.Gen() && addr%mem.PageSize <= mem.PageSize-uint32(size) {
+		if t.live != nil {
+			if *t.live != 0 {
+				raw = f.T.MemUnionFrom(0, t.base|uint64(addr%mem.PageSize), size)
+			}
+		} else if t.allocGen != f.T.PageAllocs() {
+			raw = f.T.MemUnionFrom(0, t.base|uint64(addr%mem.PageSize), size)
+		}
+	} else {
+		raw = f.memGetRange(space, addr, size)
+	}
+	id := raw
+	if f.cfg.PropagateAddrDeps {
+		// Address dependency: the pointer's taint flows into the value
+		// (the overtainting ablation).
+		id = f.T.Union(id, bank[in.Src&7])
+		if in.Mode == isa.ModeRX {
+			id = f.T.Union(id, bank[in.IndexReg()])
+		}
+	}
+	bank[in.Dst&7] = id
+	if id != 0 {
+		f.bankClean = false
+	}
+	f.loadsChecked++
+	if f.T.Has(raw, taint.TagExportTable) {
+		f.checkPolicy(m, pc, in, addr, raw, size)
+	}
+}
+
+// taintLoadPA is taintLoadAt for the fused path's pre-translated probe
+// hits: the caller established [addr, addr+size) lies in one shadow page at
+// pa and that address dependencies are off, so the probe and the ablation
+// branch are already resolved.
+func (f *FAROS) taintLoadPA(m *vm.Machine, pc uint32, in isa.Instruction, addr uint32, pa uint64, size int) {
+	var raw taint.ProvID
+	if ids := f.tlb[tlbLoad].ids; ids != nil {
+		// The probing entry aliases the shadow page directly: union the
+		// bytes without re-walking the store. Runs of the same list fold to
+		// a single union, exactly as MemUnionFrom does.
+		off := pa % mem.PageSize
+		var last taint.ProvID
+		for i := 0; i < size; i++ {
+			if id := ids[off+uint64(i)]; id != 0 && id != last {
+				if raw == 0 {
+					raw = id // Union(0, id) without the call
+				} else {
+					raw = f.T.Union(raw, id)
+				}
+				last = id
+			}
+		}
+	} else {
+		// Shadow page born after the entry was filled (allocGen mismatch).
+		raw = f.T.MemUnionFrom(0, pa, size)
+	}
+	f.bank[in.Dst&7] = raw
+	if raw != 0 {
+		f.bankClean = false
+	}
+	f.loadsChecked++
+	if f.T.Has(raw, taint.TagExportTable) {
+		f.checkPolicy(m, pc, in, addr, raw, size)
+	}
+}
+
+// taintStorePA is taintStoreAt for pre-translated probe hits: stamp and
+// write the shadow range directly. The caller already handled the
+// untainted-over-clean no-op.
+func (f *FAROS) taintStorePA(pa uint64, size int, id taint.ProvID) {
+	if id = f.stampStore(id); size == 1 {
+		f.T.MemSet1(pa, id)
+	} else {
+		f.T.MemSetRange(pa, size, id)
+	}
+}
+
+// taintPopPA is taintPop for pre-translated probe hits on tainted pages.
+func (f *FAROS) taintPopPA(pa uint64, dst uint8) {
+	var id taint.ProvID
+	if ids := f.tlb[tlbLoad].ids; ids != nil {
+		off := pa % mem.PageSize
+		var last taint.ProvID
+		for i := uint64(0); i < 4; i++ {
+			if v := ids[off+i]; v != 0 && v != last {
+				if id == 0 {
+					id = v
+				} else {
+					id = f.T.Union(id, v)
+				}
+				last = v
+			}
+		}
+	} else {
+		id = f.T.MemUnionFrom(0, pa, 4)
+	}
+	f.bank[dst] = id
+	if id != 0 {
+		f.bankClean = false
+	}
+}
+
+// taintStoreAt mirrors a store's shadow dataflow: stamp the stored value's
+// provenance with the process tag and write it over the target range.
+// Storing untainted over a known-untainted page is a no-op.
+func (f *FAROS) taintStoreAt(space *mem.Space, addr uint32, size int, id taint.ProvID) {
+	id = f.stampStore(id)
+	// Hand-inlined TLB probe, mirroring taintLoadAt: a hit writes the shadow
+	// range directly; an untainted store over a clean page stays a no-op.
+	if t := &f.tlb[tlbStore]; t.ok && t.space == space && t.vpn == addr>>mem.PageShift &&
+		t.gen == space.Gen() && addr%mem.PageSize <= mem.PageSize-uint32(size) {
+		if id == 0 {
+			if t.live != nil {
+				if *t.live == 0 {
+					return
+				}
+			} else if t.allocGen == f.T.PageAllocs() {
+				return
+			}
+		}
+		f.T.MemSetRange(t.base|uint64(addr%mem.PageSize), size, id)
+		return
+	}
+	if id != 0 || !f.rangeUntainted(space, addr, uint32(size), tlbStore) {
+		f.memSetRange(space, addr, size, id)
+	}
+}
+
+// taintPop mirrors a pop's shadow dataflow: the destination register
+// inherits the popped bytes' provenance.
+func (f *FAROS) taintPop(space *mem.Space, sp uint32, dst uint8) {
+	if f.rangeUntainted(space, sp, 4, tlbLoad) {
+		f.bank[dst] = 0
+	} else {
+		id := f.memGetRange(space, sp, 4)
+		f.bank[dst] = id
+		if id != 0 {
+			f.bankClean = false
+		}
+	}
+}
+
+// taintCall mirrors a call's shadow dataflow: the pushed return address is
+// a constant, deleting any taint under it.
+func (f *FAROS) taintCall(space *mem.Space, sp uint32) {
+	if !f.rangeUntainted(space, sp, 4, tlbStore) {
+		f.memSetRange(space, sp, 4, 0)
 	}
 }
 
@@ -525,7 +754,7 @@ func (f *FAROS) stampProc(id taint.ProvID, tag taint.Tag) taint.ProvID {
 // unchanged shadow state — pays one map probe instead of a per-byte union.
 func (f *FAROS) instrProv(s *mem.Space, pc uint32) taint.ProvID {
 	if pc%mem.PageSize <= mem.PageSize-isa.InstrSize {
-		if pa, ok := f.pagePA(s, pc); ok {
+		if pa, ok := f.pagePA(s, pc, tlbCode); ok {
 			changes := f.T.ChangeCount()
 			if e, hit := f.ipCache[pa]; hit && e.changes == changes {
 				f.instrProvHits++
@@ -546,10 +775,15 @@ func (f *FAROS) instrProv(s *mem.Space, pc uint32) taint.ProvID {
 // execution, closing the hardcoded-stub-address evasion.
 func (f *FAROS) strictExecCheck(m *vm.Machine, pc uint32, in isa.Instruction) {
 	key := uint64(m.CR3())<<32 | uint64(pc>>12)
+	if key == f.lastExecKey {
+		return // same (CR3, page) as the previous check: already recorded
+	}
 	if _, done := f.execChecked[key]; done {
+		f.lastExecKey = key
 		return
 	}
 	f.execChecked[key] = struct{}{}
+	f.lastExecKey = key
 	iProv := f.instrProv(m.Space(), pc)
 	if iProv == 0 {
 		return
@@ -744,6 +978,7 @@ func (f *FAROS) ContextSwitch(_, to *guest.Process) {
 		f.banks[to.CR3()] = bank
 	}
 	f.bank = bank
+	f.bankClean = !bank.AnyTainted()
 	f.curTag = f.procTag(to)
 	f.haveCur = true
 }

@@ -66,12 +66,26 @@ type perfTaint struct {
 	TaintedPages    int     `json:"tainted_pages"`
 }
 
-// perfSnapshot is the full BENCH_3.json payload.
+// perfBlock is the block-dispatch counter snapshot from the same FAROS
+// run: predecode amortization (hit rate) and how much of the run retired
+// through the fused and untainted fast loops.
+type perfBlock struct {
+	Built               uint64  `json:"built"`
+	Hits                uint64  `json:"hits"`
+	HitRate             float64 `json:"hit_rate"`
+	Invalidated         uint64  `json:"invalidated"`
+	FusedOps            uint64  `json:"fused_ops"`
+	UntaintedFastBlocks uint64  `json:"untainted_fast_blocks"`
+}
+
+// perfSnapshot is the full snapshot payload (committed as BENCH_3.json at
+// the taint-fast-path PR, BENCH_8.json at the block-dispatch PR).
 type perfSnapshot struct {
 	GuestExecution perfGuestExec   `json:"guest_execution"`
 	TableV         []perfTableVRow `json:"table5"`
 	TableVAvg      float64         `json:"table5_avg_slowdown"`
 	Taint          perfTaint       `json:"taint"`
+	Block          perfBlock       `json:"block"`
 }
 
 // perfRepeats matches scenario.MeasurePerf: fastest of three, since noise
@@ -135,6 +149,14 @@ func Perf() (string, error) {
 		InstrProvHits:   st.InstrProvHits,
 		TaintedBytes:    st.Taint.TaintedBytes,
 		TaintedPages:    st.Taint.TaintedPages,
+	}
+	snap.Block = perfBlock{
+		Built:               st.Block.Built,
+		Hits:                st.Block.Hits,
+		HitRate:             hitRate(st.Block.Hits, st.Block.Built+st.Block.Hits),
+		Invalidated:         st.Block.Invalidated,
+		FusedOps:            st.Block.FusedOps,
+		UntaintedFastBlocks: st.Block.UntaintedFastBlocks,
 	}
 
 	var total float64

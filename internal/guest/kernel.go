@@ -939,8 +939,8 @@ func (k *Kernel) injectGuestFault(p *Process) {
 // the scheduler moves on, mirroring how a real OS converts a CPU fault
 // into process termination rather than a machine halt.
 func (k *Kernel) runQuantum(p *Process, maxInstr uint64) {
-	// Only Step advances InstrCount (by exactly one per retired
-	// instruction), so the instruction budget folds into the step count —
+	// The dispatcher advances InstrCount by exactly one per retired
+	// instruction, so the instruction budget folds into the step count —
 	// one loop counter instead of re-reading the clock every iteration.
 	steps := k.Quantum
 	if k.M.InstrCount >= maxInstr {
@@ -949,8 +949,12 @@ func (k *Kernel) runQuantum(p *Process, maxInstr uint64) {
 	if rem := maxInstr - k.M.InstrCount; rem < steps {
 		steps = rem
 	}
-	for ; steps > 0; steps-- {
-		trap, err := k.M.Step()
+	for steps > 0 {
+		// Block dispatch: whole predecoded blocks when one fits the
+		// remaining budget, per-instruction steps otherwise — the
+		// preemption boundary never lands inside a block.
+		n, trap, err := k.M.RunBlock(steps)
+		steps -= n
 		if err != nil {
 			k.saveContext(p)
 			exc := GuestException{

@@ -60,6 +60,7 @@ type counters struct {
 	taint                TaintStats
 	prov                 ProvStats
 	trace                TraceStats
+	block                BlockStats
 }
 
 // TaintStats aggregates the taint engine's fast-path counters across
@@ -86,6 +87,19 @@ type ProvStats struct {
 	Builds uint64 `json:"builds"`
 	Nodes  uint64 `json:"nodes"`
 	Edges  uint64 `json:"edges"`
+}
+
+// BlockStats aggregates the VM block-dispatch counters across completed
+// FAROS jobs: blocks predecoded, cache hits, SMC invalidations, fused
+// superinstruction retirements, and block executions that took the
+// untainted fast loop. High hit and fast-block counts against low builds
+// and invalidations are the signature of the fused dispatcher paying off.
+type BlockStats struct {
+	Built               uint64 `json:"built"`
+	Hits                uint64 `json:"hits"`
+	Invalidated         uint64 `json:"invalidated"`
+	FusedOps            uint64 `json:"fused_ops"`
+	UntaintedFastBlocks uint64 `json:"untainted_fast_blocks"`
 }
 
 // TraceStats counts the replay-farm surface: traces ingested through
@@ -194,6 +208,7 @@ type Stats struct {
 	FindingsByRule map[string]uint64 `json:"findings_by_rule,omitempty"`
 	Taint          TaintStats        `json:"taint"`
 	Prov           ProvStats         `json:"prov"`
+	Block          BlockStats        `json:"block"`
 
 	LatencyCount   uint64          `json:"latency_count"`
 	LatencySum     time.Duration   `json:"latency_sum_ns"`
@@ -233,6 +248,7 @@ func (m *metrics) snapshot(g snapshotGauges) Stats {
 		FindingsByRule:       make(map[string]uint64, len(m.c.findings)),
 		Taint:                m.c.taint,
 		Prov:                 m.c.prov,
+		Block:                m.c.block,
 		LatencyCount:         m.c.lat.n,
 		LatencySum:           time.Duration(m.c.lat.sum * float64(time.Second)),
 	}
@@ -298,6 +314,10 @@ func (s Stats) String() string {
 	}
 	if p := s.Prov; p.Builds > 0 {
 		fmt.Fprintf(&sb, "provgraph: %d graphs built (%d nodes, %d edges)\n", p.Builds, p.Nodes, p.Edges)
+	}
+	if b := s.Block; b.Built+b.Hits > 0 {
+		fmt.Fprintf(&sb, "blocks: %d built, %d hits (%.0f%% hit rate), %d invalidated, %d fused ops, %d untainted fast blocks\n",
+			b.Built, b.Hits, 100*rate(b.Hits, b.Built+b.Hits), b.Invalidated, b.FusedOps, b.UntaintedFastBlocks)
 	}
 	if len(s.FindingsByRule) > 0 {
 		rules := make([]string, 0, len(s.FindingsByRule))
@@ -380,6 +400,11 @@ func (s Stats) Prometheus() string {
 	counter("faros_provgraph_build_total", "Provenance graphs built by completed FAROS jobs.", s.Prov.Builds)
 	counter("faros_provgraph_nodes_total", "Nodes across built provenance graphs.", s.Prov.Nodes)
 	counter("faros_provgraph_edges_total", "Edges across built provenance graphs.", s.Prov.Edges)
+	counter("faros_block_built_total", "Guest code blocks predecoded into micro-op streams.", s.Block.Built)
+	counter("faros_block_hits_total", "Block executions served from the block cache.", s.Block.Hits)
+	counter("faros_block_invalidated_total", "Cached blocks invalidated by self-modifying-code writes.", s.Block.Invalidated)
+	counter("faros_block_fused_ops_total", "Superinstructions retired by the block executors.", s.Block.FusedOps)
+	counter("faros_block_untainted_fast_blocks_total", "Block executions that took the untainted fast loop.", s.Block.UntaintedFastBlocks)
 
 	fmt.Fprintf(&sb, "# HELP faros_findings_total Findings reported by completed jobs, by rule.\n# TYPE faros_findings_total counter\n")
 	rules := make([]string, 0, len(s.FindingsByRule))

@@ -771,6 +771,11 @@ func (p *Pool) finishRunLocked(r *run, res *scenario.Result, err error) (persist
 				m.prov.Builds += ts.ProvGraphBuilds
 				m.prov.Nodes += ts.ProvGraphNodes
 				m.prov.Edges += ts.ProvGraphEdges
+				m.block.Built += ts.Block.Built
+				m.block.Hits += ts.Block.Hits
+				m.block.Invalidated += ts.Block.Invalidated
+				m.block.FusedOps += ts.Block.FusedOps
+				m.block.UntaintedFastBlocks += ts.Block.UntaintedFastBlocks
 			}
 			m.lat.observe(wall.Seconds())
 		})

@@ -378,8 +378,14 @@ func TestTaintStatsAggregation(t *testing.T) {
 	if ts.TaintedPages == 0 {
 		t.Fatalf("injection run should leave tainted pages: %+v", ts)
 	}
+	if bs := st.Block; bs.Built == 0 || bs.Hits == 0 {
+		t.Fatalf("block counters not aggregated: %+v", bs)
+	}
 	if !strings.Contains(st.String(), "taint:") {
 		t.Errorf("String() missing taint line:\n%s", st.String())
+	}
+	if !strings.Contains(st.String(), "blocks:") {
+		t.Errorf("String() missing blocks line:\n%s", st.String())
 	}
 	prom := st.Prometheus()
 	for _, metric := range []string{
@@ -392,6 +398,11 @@ func TestTaintStatsAggregation(t *testing.T) {
 		"faros_taint_instr_prov_hits_total",
 		"faros_taint_tainted_bytes_total",
 		"faros_taint_tainted_pages_total",
+		"faros_block_built_total",
+		"faros_block_hits_total",
+		"faros_block_invalidated_total",
+		"faros_block_fused_ops_total",
+		"faros_block_untainted_fast_blocks_total",
 	} {
 		if !strings.Contains(prom, metric) {
 			t.Errorf("Prometheus() missing %s", metric)

@@ -372,38 +372,44 @@ type PerfRow struct {
 
 // perfRepeats is how many times each replay is timed; the fastest run is
 // reported (standard microbenchmark practice — noise only ever adds time).
-const perfRepeats = 3
+const perfRepeats = 7
 
 // MeasurePerf records a workload once, then replays it repeatedly without
 // any plugin and with FAROS, timing both (the Table V methodology; each
-// configuration reports its fastest of perfRepeats runs).
+// configuration reports its fastest of perfRepeats runs). The two
+// configurations are interleaved — plain, FAROS, plain, FAROS, ... — so a
+// machine-speed drift mid-measurement inflates both numerators alike
+// instead of skewing the ratio.
 func MeasurePerf(w samples.PerfWorkload) (PerfRow, error) {
 	log, _, err := Record(w.Spec)
 	if err != nil {
 		return PerfRow{}, err
 	}
-	best := func(plugins Plugins) (time.Duration, uint64, error) {
-		var bestT time.Duration
-		var instrs uint64
-		for i := 0; i < perfRepeats; i++ {
-			res, err := Replay(w.Spec, log, plugins)
-			if err != nil {
-				return 0, 0, err
-			}
-			if bestT == 0 || res.WallTime < bestT {
-				bestT = res.WallTime
-			}
-			instrs = res.Summary.Instructions
+	one := func(plugins Plugins) (time.Duration, uint64, error) {
+		res, err := Replay(w.Spec, log, plugins)
+		if err != nil {
+			return 0, 0, err
 		}
-		return bestT, instrs, nil
+		return res.WallTime, res.Summary.Instructions, nil
 	}
-	plainT, instrs, err := best(Plugins{})
-	if err != nil {
-		return PerfRow{}, err
-	}
-	farosT, _, err := best(Plugins{Faros: &core.Config{}})
-	if err != nil {
-		return PerfRow{}, err
+	var plainT, farosT time.Duration
+	var instrs uint64
+	for i := 0; i < perfRepeats; i++ {
+		pT, n, err := one(Plugins{})
+		if err != nil {
+			return PerfRow{}, err
+		}
+		fT, _, err := one(Plugins{Faros: &core.Config{}})
+		if err != nil {
+			return PerfRow{}, err
+		}
+		instrs = n
+		if plainT == 0 || pT < plainT {
+			plainT = pT
+		}
+		if farosT == 0 || fT < farosT {
+			farosT = fT
+		}
 	}
 	row := PerfRow{
 		Application:  w.Display,

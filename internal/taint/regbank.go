@@ -18,10 +18,6 @@ func (rb *RegBank) Clear() {
 
 // AnyTainted reports whether any register carries taint.
 func (rb *RegBank) AnyTainted() bool {
-	for _, id := range rb {
-		if id != 0 {
-			return true
-		}
-	}
-	return false
+	// Branch-free: the block dispatcher probes this on every block entry.
+	return rb[0]|rb[1]|rb[2]|rb[3]|rb[4]|rb[5]|rb[6]|rb[7] != 0
 }

@@ -12,6 +12,7 @@ package taint
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -99,14 +100,17 @@ type Stats struct {
 	ListsInterned   int
 	Prepends        uint64
 	PrependMemoHits uint64
-	Unions          uint64
-	UnionMemoHits   uint64
-	ShadowWrites    uint64
-	RangeFastSkips  uint64 // whole-page skips taken by the range fast paths
-	TaintedBytes    int    // live count of non-empty shadow bytes
-	TaintedPages    int    // live count of shadow pages holding any taint
-	TagsExhausted   uint64
-	ListsTruncated  uint64
+	// Unions counts every union requested; UnionMemoHits counts the ones
+	// answered without constructing a list (identity fast-outs and
+	// memo-table hits).
+	Unions         uint64
+	UnionMemoHits  uint64
+	ShadowWrites   uint64
+	RangeFastSkips uint64 // whole-page skips taken by the range fast paths
+	TaintedBytes   int    // live count of non-empty shadow bytes
+	TaintedPages   int    // live count of shadow pages holding any taint
+	TagsExhausted  uint64
+	ListsTruncated uint64
 }
 
 const shadowPageSize = 4096
@@ -387,15 +391,22 @@ func (s *Store) Prepend(id ProvID, t Tag) ProvID {
 
 // Union merges two lists (the computation-dependency rule of Table I):
 // the result holds a's tags followed by b's tags not already present,
-// preserving each side's internal chronology. Union is memoized.
+// preserving each side's internal chronology. Union is memoized. Every
+// request counts toward stats.Unions — including the identity fast-outs
+// (a==b, or one side empty), which previously returned before the counter
+// and left workloads whose unions all hit the fast-outs reporting zero
+// union activity. Identity fast-outs count as memo hits: like a memo-table
+// hit, they answer without constructing a list.
 func (s *Store) Union(a, b ProvID) ProvID {
+	s.stats.Unions++
 	if a == b || b == 0 {
+		s.stats.UnionMemoHits++
 		return a
 	}
 	if a == 0 {
+		s.stats.UnionMemoHits++
 		return b
 	}
-	s.stats.Unions++
 	memo := uint64(a)<<32 | uint64(b)
 	if id, ok := s.unions[memo]; ok {
 		s.stats.UnionMemoHits++
@@ -518,6 +529,19 @@ func (s *Store) LivePtr(frame uint64) *int32 {
 	return &p.live
 }
 
+// PageIDs returns the frame's shadow bytes as a slice, or nil when the
+// frame has no shadow page yet. Shadow pages are never freed, so the slice
+// stays valid for the store's lifetime. READ-ONLY for callers: all writes
+// must go through MemSet/MemSetRange, which keep the live counter and
+// stats coherent.
+func (s *Store) PageIDs(frame uint64) []ProvID {
+	p := s.page(frame)
+	if p == nil {
+		return nil
+	}
+	return p.ids[:]
+}
+
 // PageAllocs counts shadow-page allocations ever made. Callers caching a
 // nil LivePtr use it as the invalidation signal: unchanged count means no
 // new shadow page can have appeared under them.
@@ -628,13 +652,90 @@ func (s *Store) MemSetRange(pa uint64, n int, id ProvID) {
 			if page == nil {
 				page = s.ensurePage(frame)
 			}
-			for i := 0; i < chunk; i++ {
-				s.setInPage(page, pa+uint64(i), id)
+			if s.watch == nil {
+				// Batched form of setInPage: identical bookkeeping per byte,
+				// no per-byte call and no watch dispatch.
+				off := pa % shadowPageSize
+				s.stats.ShadowWrites += uint64(chunk)
+				for i := 0; i < chunk; i++ {
+					old := page.ids[off+uint64(i)]
+					if old == id {
+						continue
+					}
+					if old == 0 {
+						s.stats.TaintedBytes++
+						if page.live == 0 {
+							s.stats.TaintedPages++
+						}
+						page.live++
+					} else if id == 0 {
+						s.stats.TaintedBytes--
+						page.live--
+						if page.live == 0 {
+							s.stats.TaintedPages--
+						}
+					}
+					page.ids[off+uint64(i)] = id
+					s.changes++
+				}
+			} else {
+				for i := 0; i < chunk; i++ {
+					s.setInPage(page, pa+uint64(i), id)
+				}
 			}
 		}
 		pa += uint64(chunk)
 		n -= chunk
 	}
+}
+
+// MemSet1 is MemSetRange for a single byte — the tight-loop case (byte
+// copies into tainted buffers), worth skipping the range machinery for.
+// Bookkeeping is identical to one MemSetRange iteration.
+func (s *Store) MemSet1(pa uint64, id ProvID) {
+	page := s.page(pa / shadowPageSize)
+	if id == 0 && (page == nil || page.live == 0) {
+		s.stats.RangeFastSkips++
+		return
+	}
+	if page == nil || s.watch != nil {
+		s.MemSetRange(pa, 1, id)
+		return
+	}
+	s.stats.ShadowWrites++
+	off := pa % shadowPageSize
+	old := page.ids[off]
+	if old == id {
+		return
+	}
+	if old == 0 {
+		s.stats.TaintedBytes++
+		if page.live == 0 {
+			s.stats.TaintedPages++
+		}
+		page.live++
+	} else if id == 0 {
+		s.stats.TaintedBytes--
+		page.live--
+		if page.live == 0 {
+			s.stats.TaintedPages--
+		}
+	}
+	page.ids[off] = id
+	s.changes++
+}
+
+// MemSame1 reports whether the shadow byte at pa already holds id, given
+// the page's ids slice (from PageIDs), counting the no-op shadow store when
+// it does — exactly MemSet1's old==id path with the page lookup hoisted
+// into the caller's TLB. A false return means MemSet1 must run; watched
+// stores always return false so the observer sees every write.
+func (s *Store) MemSame1(pa uint64, id ProvID, ids []ProvID) bool {
+	if s.watch != nil || ids[pa%shadowPageSize] != id {
+		return false
+	}
+	s.stats.ShadowWrites++
+	return true
 }
 
 // MemUnion returns the union of the provenance of n consecutive bytes.
@@ -658,9 +759,14 @@ func (s *Store) MemUnionFrom(acc ProvID, pa uint64, n int) ProvID {
 			s.stats.RangeFastSkips++
 		} else {
 			off := pa % shadowPageSize
+			// Runs of the same list — the norm inside one tainted buffer —
+			// fold to a single union: acc already holds the list's tags, so
+			// Union(acc, id) would return acc unchanged.
+			var last ProvID
 			for i := 0; i < chunk; i++ {
-				if id := page.ids[off+uint64(i)]; id != 0 {
+				if id := page.ids[off+uint64(i)]; id != 0 && id != last {
 					acc = s.Union(acc, id)
+					last = id
 				}
 			}
 		}
@@ -708,6 +814,36 @@ func (s *Store) MemCopy(dst, src uint64, n int) {
 		src += uint64(chunk)
 		dst += uint64(chunk)
 		n -= chunk
+	}
+}
+
+// ForEachTainted calls fn for every shadow byte carrying taint, in
+// ascending physical-address order. It is the canonical-snapshot walk used
+// by equivalence tests comparing final taint state across dispatch modes.
+func (s *Store) ForEachTainted(fn func(pa uint64, id ProvID)) {
+	walk := func(frame uint64, page *shadowPage) {
+		if page == nil || page.live == 0 {
+			return
+		}
+		base := frame * shadowPageSize
+		for off := 0; off < shadowPageSize; off++ {
+			if id := page.ids[off]; id != 0 {
+				fn(base+uint64(off), id)
+			}
+		}
+	}
+	for frame, page := range s.shadow {
+		walk(uint64(frame), page)
+	}
+	if len(s.shadowHi) > 0 {
+		frames := make([]uint64, 0, len(s.shadowHi))
+		for frame := range s.shadowHi {
+			frames = append(frames, frame)
+		}
+		sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
+		for _, frame := range frames {
+			walk(frame, s.shadowHi[frame])
+		}
 	}
 }
 

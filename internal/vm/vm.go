@@ -9,7 +9,6 @@
 package vm
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"faros/internal/isa"
@@ -112,13 +111,30 @@ type Machine struct {
 	// dtlb caches the last read and write data translations (indices 0/1).
 	dtlb [2]dataTLBEntry
 
+	// blocks caches predecoded micro-op blocks per physical frame (see
+	// block.go), invalidated alongside the icache. btlb is the one-entry
+	// lookup TLB; blockEpoch counts invalidations so running blocks can
+	// detect self-modifying code.
+	blocks     []*blockPage
+	btlb       blockTLB
+	blockEpoch uint64
+	bstats     BlockStats
+	// blocksOff disables block dispatch (RunBlock degenerates to Step).
+	blocksOff bool
+	// legacyHooks is set when any per-instruction/memory hook registers;
+	// block dispatch would skip those callbacks, so it turns itself off.
+	legacyHooks bool
+
 	beforeInstr []InstrHook
 	// plugin is the interface-dispatched before-instruction observer (see
 	// InstrPlugin). It fires before the beforeInstr hooks.
-	plugin     InstrPlugin
-	afterInstr []InstrHook
-	memRead    []MemHook
-	memWrite   []MemHook
+	plugin InstrPlugin
+	// blockPlugin is plugin's block-level upgrade when it implements
+	// BlockPlugin.
+	blockPlugin BlockPlugin
+	afterInstr  []InstrHook
+	memRead     []MemHook
+	memWrite    []MemHook
 }
 
 // dataTLBEntry is one cached data translation.
@@ -185,6 +201,7 @@ type icachePage struct {
 func New(phys *mem.Phys) *Machine {
 	m := &Machine{phys: phys}
 	m.fetchTLB.vpn = invalidVPN
+	m.btlb.vpn = invalidVPN
 	return m
 }
 
@@ -199,6 +216,16 @@ func (m *Machine) InvalidateFrame(frame uint32) {
 	if m.fetchTLB.frame == frame {
 		m.fetchTLB.vpn = invalidVPN
 	}
+	// Drop cached blocks. The epoch bumps only when the frame actually had
+	// a block page, so data-page stores never bail running blocks.
+	if int(frame) < len(m.blocks) && m.blocks[frame] != nil {
+		m.blocks[frame] = nil
+		m.blockEpoch++
+		m.bstats.Invalidated++
+	}
+	if m.btlb.frame == frame {
+		m.btlb.vpn = invalidVPN
+	}
 }
 
 // Phys returns the machine's physical memory.
@@ -209,6 +236,7 @@ func (m *Machine) Phys() *mem.Phys { return m.phys }
 func (m *Machine) SetSpace(s *mem.Space) {
 	if m.space != s {
 		m.fetchTLB.vpn = invalidVPN
+		m.btlb.vpn = invalidVPN
 	}
 	m.space = s
 }
@@ -224,27 +252,45 @@ func (m *Machine) CR3() uint32 {
 	return m.space.CR3()
 }
 
-// OnBeforeInstr registers a hook that fires before each instruction executes.
-func (m *Machine) OnBeforeInstr(h InstrHook) { m.beforeInstr = append(m.beforeInstr, h) }
+// OnBeforeInstr registers a hook that fires before each instruction
+// executes. Per-instruction hooks pin the machine to the per-instruction
+// dispatch path.
+func (m *Machine) OnBeforeInstr(h InstrHook) {
+	m.beforeInstr = append(m.beforeInstr, h)
+	m.legacyHooks = true
+}
 
 // OnInstrPlugin registers the interface-dispatched before-instruction
 // observer. Only one may be registered; it fires before any OnBeforeInstr
-// hooks.
+// hooks. If the plugin also implements BlockPlugin, block dispatch routes
+// whole predecoded blocks through it instead.
 func (m *Machine) OnInstrPlugin(p InstrPlugin) {
 	if m.plugin != nil {
 		panic("vm: OnInstrPlugin called twice")
 	}
 	m.plugin = p
+	if bp, ok := p.(BlockPlugin); ok {
+		m.blockPlugin = bp
+	}
 }
 
 // OnAfterInstr registers a hook that fires after each retired instruction.
-func (m *Machine) OnAfterInstr(h InstrHook) { m.afterInstr = append(m.afterInstr, h) }
+func (m *Machine) OnAfterInstr(h InstrHook) {
+	m.afterInstr = append(m.afterInstr, h)
+	m.legacyHooks = true
+}
 
 // OnMemRead registers a hook observing data loads.
-func (m *Machine) OnMemRead(h MemHook) { m.memRead = append(m.memRead, h) }
+func (m *Machine) OnMemRead(h MemHook) {
+	m.memRead = append(m.memRead, h)
+	m.legacyHooks = true
+}
 
 // OnMemWrite registers a hook observing data stores.
-func (m *Machine) OnMemWrite(h MemHook) { m.memWrite = append(m.memWrite, h) }
+func (m *Machine) OnMemWrite(h MemHook) {
+	m.memWrite = append(m.memWrite, h)
+	m.legacyHooks = true
+}
 
 // HookCount returns the number of registered hooks; the scenario harness
 // reports it so performance runs can document their instrumentation level.
@@ -320,26 +366,9 @@ func (m *Machine) FetchInstr(va uint32) (isa.Instruction, error) {
 
 // read32 loads a word, firing mem-read hooks.
 func (m *Machine) read32(pc uint32, in isa.Instruction, va uint32) (uint32, error) {
-	pa, ok := m.lookupPA(va, 0)
-	if !ok {
-		var err error
-		if pa, err = m.dataPAFill(va, mem.AccessRead, &m.dtlb[0]); err != nil {
-			return 0, err
-		}
-	}
-	var err error
-	var v uint32
-	if off := pa.Offset(); off <= mem.PageSize-4 {
-		f, ferr := m.phys.Frame(pa.Frame())
-		if ferr != nil {
-			return 0, ferr
-		}
-		v = binary.LittleEndian.Uint32(f[off : off+4])
-	} else {
-		v, err = m.space.Read32(va, mem.AccessRead)
-		if err != nil {
-			return 0, err
-		}
+	v, pa, err := m.rawRead32(va)
+	if err != nil {
+		return 0, err
 	}
 	for _, h := range m.memRead {
 		h(m, pc, in, va, pa, 4)
@@ -349,48 +378,22 @@ func (m *Machine) read32(pc uint32, in isa.Instruction, va uint32) (uint32, erro
 
 // read8 loads a byte, firing mem-read hooks.
 func (m *Machine) read8(pc uint32, in isa.Instruction, va uint32) (uint32, error) {
-	pa, ok := m.lookupPA(va, 0)
-	if !ok {
-		var err error
-		if pa, err = m.dataPAFill(va, mem.AccessRead, &m.dtlb[0]); err != nil {
-			return 0, err
-		}
-	}
-	b, err := m.phys.ReadByteAt(pa)
+	v, pa, err := m.rawRead8(va)
 	if err != nil {
 		return 0, err
 	}
 	for _, h := range m.memRead {
 		h(m, pc, in, va, pa, 1)
 	}
-	return uint32(b), nil
+	return v, nil
 }
 
 // write32 stores a word, firing mem-write hooks and invalidating cached
 // decodes for the written frames.
 func (m *Machine) write32(pc uint32, in isa.Instruction, va uint32, v uint32) error {
-	pa, ok := m.lookupPA(va, 1)
-	if !ok {
-		var err error
-		if pa, err = m.dataPAFill(va, mem.AccessWrite, &m.dtlb[1]); err != nil {
-			return err
-		}
-	}
-	if off := pa.Offset(); off <= mem.PageSize-4 {
-		f, ferr := m.phys.Frame(pa.Frame())
-		if ferr != nil {
-			return ferr
-		}
-		binary.LittleEndian.PutUint32(f[off:off+4], v)
-		m.InvalidateFrame(pa.Frame())
-	} else {
-		if err := m.space.Write32(va, v); err != nil {
-			return err
-		}
-		m.InvalidateFrame(pa.Frame())
-		if pa2, err2 := m.space.Translate(va+3, mem.AccessWrite); err2 == nil {
-			m.InvalidateFrame(pa2.Frame())
-		}
+	pa, err := m.rawWrite32(va, v)
+	if err != nil {
+		return err
 	}
 	for _, h := range m.memWrite {
 		h(m, pc, in, va, pa, 4)
@@ -400,17 +403,10 @@ func (m *Machine) write32(pc uint32, in isa.Instruction, va uint32, v uint32) er
 
 // write8 stores a byte, firing mem-write hooks.
 func (m *Machine) write8(pc uint32, in isa.Instruction, va uint32, v byte) error {
-	pa, ok := m.lookupPA(va, 1)
-	if !ok {
-		var err error
-		if pa, err = m.dataPAFill(va, mem.AccessWrite, &m.dtlb[1]); err != nil {
-			return err
-		}
-	}
-	if err := m.phys.WriteByteAt(pa, v); err != nil {
+	pa, err := m.rawWrite8(va, v)
+	if err != nil {
 		return err
 	}
-	m.InvalidateFrame(pa.Frame())
 	for _, h := range m.memWrite {
 		h(m, pc, in, va, pa, 1)
 	}
@@ -601,28 +597,9 @@ func (m *Machine) Step() (Trap, error) {
 	return trap, nil
 }
 
-// alu evaluates a two-operand ALU operation.
-func alu(op isa.Op, a, b uint32) uint32 {
-	switch op {
-	case isa.OpAdd:
-		return a + b
-	case isa.OpSub:
-		return a - b
-	case isa.OpAnd:
-		return a & b
-	case isa.OpOr:
-		return a | b
-	case isa.OpXor:
-		return a ^ b
-	case isa.OpMul:
-		return a * b
-	case isa.OpShl:
-		return a << (b & 31)
-	case isa.OpShr:
-		return a >> (b & 31)
-	}
-	return 0
-}
+// alu evaluates a two-operand ALU operation (shared with the block
+// executors via isa so the semantics cannot drift).
+func alu(op isa.Op, a, b uint32) uint32 { return isa.EvalALU(op, a, b) }
 
 // jumpTarget resolves the destination of a jump/call.
 func (m *Machine) jumpTarget(pc uint32, in isa.Instruction) uint32 {
@@ -639,22 +616,7 @@ func (m *Machine) jumpTarget(pc uint32, in isa.Instruction) uint32 {
 
 // condTaken evaluates a conditional branch against the flags.
 func (m *Machine) condTaken(op isa.Op) bool {
-	f := m.CPU.Flags
-	switch op {
-	case isa.OpJz:
-		return f.Z
-	case isa.OpJnz:
-		return !f.Z
-	case isa.OpJl:
-		return f.S
-	case isa.OpJge:
-		return !f.S
-	case isa.OpJg:
-		return !f.S && !f.Z
-	case isa.OpJle:
-		return f.S || f.Z
-	}
-	return false
+	return isa.CondTaken(op, m.CPU.Flags.Z, m.CPU.Flags.S)
 }
 
 // Run executes up to maxSteps instructions or until a non-none trap.
