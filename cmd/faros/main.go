@@ -35,6 +35,7 @@ import (
 	"faros/internal/samples"
 	"faros/internal/scenario"
 	"faros/internal/trace"
+	"faros/internal/triage"
 )
 
 func main() {
@@ -61,6 +62,7 @@ type reportOpts struct {
 	dotOut      string
 	withCuckoo  bool
 	withMalfind bool
+	policy      *triage.Policy
 }
 
 func run() int {
@@ -78,6 +80,7 @@ func run() int {
 	dotOut := flag.String("dot", "", "write the first finding's provenance graph (Graphviz) to this file")
 	provFormat := flag.String("prov-format", "text", "render the merged provenance graph: text (default, paper-style chains only), json, or dot")
 	timeout := flag.Duration("timeout", 0, "abort the analysis after this wall time (0 = no limit)")
+	triagePolicy := flag.String("triage-policy", "", "risk-score findings: 'default' for the built-in policy, or a policy JSON file path (empty = off)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -96,6 +99,19 @@ func run() int {
 	opts := reportOpts{
 		provFormat: *provFormat, jsonOut: *jsonOut, dotOut: *dotOut,
 		withCuckoo: *withCuckoo, withMalfind: *withMalfind,
+	}
+	switch *triagePolicy {
+	case "":
+		// scoring off; output identical to pre-triage versions
+	case "default":
+		opts.policy = triage.Default()
+	default:
+		pol, err := triage.Load(*triagePolicy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faros: %v\n", err)
+			return 1
+		}
+		opts.policy = pol
 	}
 
 	if *list {
@@ -210,6 +226,20 @@ func report(res *scenario.Result, opts reportOpts) int {
 	if res.Flagged() {
 		fmt.Println()
 		fmt.Print(res.Faros.TableII())
+	}
+	// -triage-policy scores each finding against the policy's graph-shape
+	// rules; the scores are a pure view over the provenance graphs, so the
+	// findings above are unchanged by this section's presence.
+	if opts.policy != nil {
+		findings := res.Faros.Findings()
+		scores := make([]triage.Score, 0, len(findings))
+		fmt.Printf("\ntriage (policy %s, %.12s):\n", opts.policy.Name, opts.policy.Hash())
+		for _, f := range findings {
+			a := opts.policy.ScoreFinding(f.Rule, f.Prov)
+			scores = append(scores, a.Score)
+			fmt.Printf("  [%-6s] %s %s/%d (rule %s)\n", a.Score, f.Rule, f.ProcName, f.PID, a.Rule)
+		}
+		fmt.Printf("overall risk: %s\n", triage.Aggregate(scores...))
 	}
 	// -prov-format text keeps the output exactly as before (the report and
 	// Table II already render the chains); json/dot additionally print the

@@ -12,6 +12,7 @@
 //	farosd -store-dir /var/lib/faros -store-max-bytes 1073741824 -store-ttl 168h
 //	farosd -rate-limit 50 -rate-burst 100 -shed-threshold 0.8
 //	farosd -trace-dir /var/lib/faros/traces -trace-max-bytes 4294967296
+//	farosd -triage-policy policy.json -ledger 4096
 //
 // With -store-dir, completed results are persisted with per-entry
 // checksums and atomic writes; a restarted farosd verifies the store,
@@ -21,6 +22,11 @@
 // keep serving. With -trace-dir, farosd is a replay farm: recorded traces
 // (faros -record-out) are uploaded once, deduplicated by content digest,
 // and analyzed under any number of engine configs without live execution.
+// With -triage-policy (on by default), every finding is risk-scored
+// against a declarative policy — scoring is strictly a view over the
+// provenance graph, so findings stay bit-identical to an unscored run —
+// and the active policy's content hash joins the result-cache key, so one
+// stored trace re-scored under two policies yields two cached results.
 //
 // API:
 //
@@ -31,7 +37,9 @@
 //	GET  /traces           stored trace headers
 //	GET  /traces/{digest}  one trace's header (?raw=1 for the bytes)
 //	GET  /jobs/{id}        job status and result (404 once retention expires it)
+//	GET  /jobs/{id}/events the job's append-only audit-ledger timeline
 //	POST /jobs/{id}/cancel detach this waiter from its job
+//	GET  /events           live event stream (SSE): transitions, scored findings
 //	GET  /results/{hash}   cached/stored result by cache key
 //	GET  /metrics          Prometheus text exposition
 //	GET  /stats            pipeline.Stats as JSON
@@ -56,6 +64,7 @@ import (
 	"faros/internal/samples"
 	"faros/internal/store"
 	"faros/internal/trace"
+	"faros/internal/triage"
 )
 
 func main() {
@@ -79,6 +88,8 @@ func run() int {
 	traceDir := flag.String("trace-dir", "", "content-addressed trace store directory (empty disables trace ingestion/analysis)")
 	traceMaxBytes := flag.Int64("trace-max-bytes", 0, "trace store size bound; oldest traces evicted beyond it (0 = unbounded)")
 	traceTTL := flag.Duration("trace-ttl", 0, "trace store entry TTL (0 = traces never expire)")
+	triagePolicy := flag.String("triage-policy", "default", "triage policy: 'default' (built-in), 'off' to disable, or a policy JSON file path")
+	ledgerJobs := flag.Int("ledger", 0, "audit-ledger job timelines kept for GET /jobs/{id}/events (0 = default 1024)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client sustained submissions/sec (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 0, "per-client burst size (0 = derived from -rate-limit)")
 	shedThreshold := flag.Float64("shed-threshold", 0, "queue saturation fraction at which new work sheds with 429 (0 = default 0.9, negative disables)")
@@ -111,6 +122,25 @@ func run() int {
 			*traceDir, traces.Len(), ts.Bytes, ts.CorruptQuarantined)
 	}
 
+	var policy *triage.Policy
+	switch *triagePolicy {
+	case "off", "none", "":
+		// scoring disabled; findings stay bit-identical to pre-triage runs
+	case "default":
+		policy = triage.Default()
+	default:
+		var err error
+		policy, err = triage.Load(*triagePolicy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "farosd: %v\n", err)
+			return 2
+		}
+	}
+	if policy != nil {
+		fmt.Printf("farosd: triage policy %q (%.12s): %d rules\n",
+			policy.Name, policy.Hash(), len(policy.Rules))
+	}
+
 	admission := pipeline.AdmissionConfig{
 		RatePerSec:    *rateLimit,
 		Burst:         *rateBurst,
@@ -133,6 +163,8 @@ func run() int {
 		JobRetentionAge: *retentionAge,
 		Store:           st,
 		Traces:          traces,
+		Triage:          policy,
+		LedgerJobs:      *ledgerJobs,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "farosd: %v\n", err)

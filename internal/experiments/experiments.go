@@ -434,7 +434,7 @@ var order = []string{
 	"detect", "table2", "fig7", "fig8", "fig9", "fig10",
 	"table3", "table4", "table5", "perf", "trace-perf", "cuckoo",
 	"indirect", "ablate-addr", "ablate-proctag", "ablate-cap",
-	"evasion", "chaos",
+	"evasion", "chaos", "triage",
 }
 
 // Names returns the experiment identifiers.
@@ -519,6 +519,8 @@ func Run(name string) (string, error) {
 		return Evasion()
 	case "chaos":
 		return Chaos()
+	case "triage":
+		return TriageSweep()
 	}
 	return "", fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(order, ", "))
 }

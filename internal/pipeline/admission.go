@@ -109,7 +109,7 @@ func (a *admission) allow(client string) (bool, time.Duration) {
 	b, ok := a.buckets[client]
 	if !ok {
 		if len(a.buckets) >= maxBuckets {
-			a.sweepLocked()
+			a.sweepLocked(now)
 		}
 		b = &bucket{tokens: a.burst, last: now}
 		a.buckets[client] = b
@@ -124,10 +124,17 @@ func (a *admission) allow(client string) (bool, time.Duration) {
 	return false, wait
 }
 
-// sweepLocked drops full (idle) buckets; a.mu must be held.
-func (a *admission) sweepLocked() {
+// sweepLocked drops full (idle) buckets; a.mu must be held. Each bucket
+// is refilled by its elapsed idle time before the fullness test — tokens
+// are only materialized when a client next calls allow, so a bucket that
+// was drained and then abandoned sits at stale near-zero tokens forever.
+// Without the refill such buckets are never evictable and the map grows
+// past maxBuckets under client churn (one once-limited client per
+// address pins one bucket each).
+func (a *admission) sweepLocked(now time.Time) {
 	for client, b := range a.buckets {
-		if b.tokens >= a.burst {
+		tokens := math.Min(a.burst, b.tokens+now.Sub(b.last).Seconds()*a.cfg.RatePerSec)
+		if tokens >= a.burst {
 			delete(a.buckets, client)
 		}
 	}

@@ -1,0 +1,57 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"faros/internal/record"
+	"faros/internal/scenario"
+	"faros/internal/trace"
+)
+
+// TestErrStatusMatrix locks the full error→status mapping, including the
+// wrapped forms that reach errStatus through waited jobs: typed scenario
+// deadline/cancel errors (via their Is methods), bare context errors, and
+// fmt.Errorf-wrapped variants of each.
+func TestErrStatusMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil-ish unknown", errors.New("boom"), http.StatusInternalServerError},
+		{"httpError passthrough", &httpError{http.StatusTeapot, "short and stout"}, http.StatusTeapot},
+		{"trace mismatch", &trace.MismatchError{Field: "spec hash", Want: "a", Got: "b"}, http.StatusConflict},
+		{"trace corrupt", &trace.CorruptError{Reason: "checksum"}, http.StatusBadRequest},
+		{"trace legacy", &trace.LegacyFormatError{}, http.StatusBadRequest},
+		{"replay divergence", &record.DivergenceError{}, http.StatusUnprocessableEntity},
+		{"scenario deadline", &scenario.DeadlineError{Scenario: "x", Instructions: 9}, http.StatusGatewayTimeout},
+		{"wrapped scenario deadline", fmt.Errorf("run: %w", &scenario.DeadlineError{Scenario: "x"}), http.StatusGatewayTimeout},
+		{"bare context deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"wrapped context deadline", fmt.Errorf("wait: %w", context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{"scenario cancel", &scenario.CancelError{Scenario: "x", Instructions: 9}, statusClientClosedRequest},
+		{"wrapped scenario cancel", fmt.Errorf("run: %w", &scenario.CancelError{Scenario: "x"}), statusClientClosedRequest},
+		{"bare context cancel", context.Canceled, statusClientClosedRequest},
+		{"wrapped context cancel", fmt.Errorf("wait: %w", context.Canceled), statusClientClosedRequest},
+		// Precedence: a typed trace error that happens to wrap nothing
+		// context-flavored must keep its own mapping even when wrapped.
+		{"wrapped trace mismatch", fmt.Errorf("verify: %w", &trace.MismatchError{Field: "f"}), http.StatusConflict},
+	}
+	for _, tc := range cases {
+		if got := errStatus(tc.err); got != tc.want {
+			t.Errorf("%s: errStatus(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+	// Cancellation and deadline failures must never read as server faults.
+	for _, err := range []error{
+		&scenario.CancelError{}, context.Canceled,
+		&scenario.DeadlineError{}, context.DeadlineExceeded,
+	} {
+		if st := errStatus(err); st == http.StatusInternalServerError || st == http.StatusBadGateway {
+			t.Errorf("errStatus(%v) = %d: client-attributable failure mapped to a server fault", err, st)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -73,11 +74,21 @@ type httpError struct {
 
 func (e *httpError) Error() string { return e.msg }
 
+// statusClientClosedRequest is nginx's non-standard 499 "client closed
+// request": the job stopped because its client went away, which is not a
+// server fault — a cancellation surfacing as 5xx would page an operator
+// for a client's own Ctrl-C (and trip the retrying client's 5xx logic).
+const statusClientClosedRequest = 499
+
 // errStatus maps typed errors onto HTTP statuses. Trace identity
 // mismatches are 409 (the upload and the job disagree — resolvable by the
 // client), malformed or legacy trace blobs are 400, and a replay that
 // failed to reproduce its recording (record.DivergenceError) is 422: the
 // request was well-formed but the trace cannot be processed faithfully.
+// Deadline exhaustion (*scenario.DeadlineError, or anything wrapping
+// context.DeadlineExceeded) is 504: the work timed out downstream of a
+// well-formed request, and the retrying client treats 504 as retryable.
+// Client cancellation (*scenario.CancelError / context.Canceled) is 499.
 // Unrecognized errors map to 500.
 func errStatus(err error) int {
 	var he *httpError
@@ -94,6 +105,10 @@ func errStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.As(err, &dv):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
 	}
 	return http.StatusInternalServerError
 }
@@ -194,6 +209,9 @@ func resolveTrace(p *Pool, sc ServerConfig, req AnalyzeRequest) (samples.Spec, e
 //	POST /analyze          submit a job (optionally waiting for the result)
 //	GET  /jobs/{id}        job status + result (settled jobs answer from the
 //	                       retention ring until count/age evicts them → 404)
+//	GET  /jobs/{id}/events the job's append-only audit-ledger timeline
+//	GET  /events           live Server-Sent-Events stream of job transitions,
+//	                       admission rejections, and scored findings
 //	POST /jobs/{id}/cancel detach this waiter (coalesced peers unaffected)
 //	GET  /results/{hash}   cached result by cache key
 //	GET  /results/{hash}/prov?format=json|dot|text
@@ -237,7 +255,7 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 	mux.HandleFunc("POST /analyze", func(w http.ResponseWriter, r *http.Request) {
 		if adm != nil {
 			if ok, after := adm.allow(clientKey(r.RemoteAddr)); !ok {
-				p.metrics.add(func(m *counters) { m.admissionRateLimited++ })
+				p.NoteRateLimited()
 				writeRetryable(w, http.StatusTooManyRequests, after, "rate limit exceeded")
 				return
 			}
@@ -295,7 +313,7 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 			// anything needing execution sheds with a retry hint.
 			cached, ok := p.CachedJob(preq)
 			if !ok {
-				p.metrics.add(func(m *counters) { m.admissionShed++ })
+				p.NoteShed(preq.Spec.Name)
 				writeRetryable(w, http.StatusTooManyRequests, adm.cfg.RetryAfter,
 					"queue saturated; serving cached results only")
 				return
@@ -327,10 +345,12 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 				return
 			}
 			// A waited job that failed with a typed error (trace identity
-			// mismatch, replay divergence) answers with the mapped status;
-			// other failures keep the 200-with-error-field contract.
+			// mismatch, replay divergence, deadline exhaustion) or was
+			// canceled answers with the mapped status; other failures keep
+			// the 200-with-error-field contract. The view is still the
+			// body either way, so the client always sees the job's state.
 			status := http.StatusOK
-			if view.State == StateFailed {
+			if view.State == StateFailed || view.State == StateCanceled {
 				if jerr := p.JobErr(job); jerr != nil {
 					if st := errStatus(jerr); st != http.StatusInternalServerError {
 						status = st
@@ -414,6 +434,62 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, view)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		events, ok := p.JobEvents(id)
+		if !ok {
+			writeErr(w, &httpError{http.StatusNotFound,
+				"no event timeline for job " + id + " (unknown, or evicted from the ledger)"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"job": id, "events": events})
+	})
+
+	// GET /events is a Server-Sent-Events stream of every lifecycle event:
+	// job transitions (submitted, coalesced, cache_hit, done, failed,
+	// canceled), admission rejections (shed, rate_limited), degradations,
+	// and scored findings (flagged). Frames carry the hub sequence number
+	// as the SSE id — a gap means this subscriber was too slow and events
+	// were dropped for it rather than back-pressuring the pipeline.
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			writeErr(w, &httpError{http.StatusInternalServerError, "streaming unsupported"})
+			return
+		}
+		sub := p.Subscribe(256)
+		defer sub.Close()
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		// An immediate comment both commits the headers and tells the
+		// client the stream is live before any event fires.
+		fmt.Fprint(w, ": stream open\n\n")
+		flusher.Flush()
+		heartbeat := time.NewTicker(15 * time.Second)
+		defer heartbeat.Stop()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-heartbeat.C:
+				fmt.Fprint(w, ": heartbeat\n\n")
+				flusher.Flush()
+			case e, open := <-sub.Events():
+				if !open {
+					return // pool shut down
+				}
+				data, err := json.Marshal(e)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+				flusher.Flush()
+			}
+		}
 	})
 
 	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {

@@ -56,6 +56,8 @@ type counters struct {
 	cacheSkippedDegraded uint64
 	instructions         uint64
 	findings             map[string]uint64
+	triageFindings       map[string]uint64 // findings scored, by risk
+	triageResults        map[string]uint64 // results scored, by aggregate risk
 	lat                  *histogram
 	taint                TaintStats
 	prov                 ProvStats
@@ -120,7 +122,12 @@ type metrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{c: counters{findings: make(map[string]uint64), lat: newHistogram()}}
+	return &metrics{c: counters{
+		findings:       make(map[string]uint64),
+		triageFindings: make(map[string]uint64),
+		triageResults:  make(map[string]uint64),
+		lat:            newHistogram(),
+	}}
 }
 
 func (m *metrics) add(f func(*counters)) {
@@ -149,6 +156,13 @@ type snapshotGauges struct {
 	store            store.Stats
 	traceEnabled     bool
 	traces           store.Stats
+	triageEnabled    bool
+	triagePolicy     string
+	eventsPublished  uint64
+	eventsDropped    uint64
+	eventSubscribers int
+	ledgerJobs       int
+	ledgerEvicted    uint64
 }
 
 // Stats is an immutable snapshot of the pool's observable state. Both the
@@ -204,6 +218,24 @@ type Stats struct {
 	CacheExpired         uint64 `json:"cache_expired"`
 	CacheSkippedDegraded uint64 `json:"cache_skipped_degraded"`
 
+	// TriageEnabled reports whether a risk policy is active; TriagePolicy
+	// is its content hash. FindingsByRisk / ResultsByRisk count scored
+	// findings and completed results by risk level.
+	TriageEnabled  bool              `json:"triage_enabled"`
+	TriagePolicy   string            `json:"triage_policy,omitempty"`
+	FindingsByRisk map[string]uint64 `json:"findings_by_risk,omitempty"`
+	ResultsByRisk  map[string]uint64 `json:"results_by_risk,omitempty"`
+
+	// EventsPublished / EventsDropped are the live event hub's counters
+	// (drops are per-subscriber deliveries lost to slowness, never
+	// back-pressure); EventSubscribers the current GET /events consumers.
+	// LedgerJobs / LedgerEvicted gauge the audit ledger.
+	EventsPublished  uint64 `json:"events_published"`
+	EventsDropped    uint64 `json:"events_dropped"`
+	EventSubscribers int    `json:"event_subscribers"`
+	LedgerJobs       int    `json:"ledger_jobs"`
+	LedgerEvicted    uint64 `json:"ledger_evicted"`
+
 	Instructions   uint64            `json:"instructions"`
 	FindingsByRule map[string]uint64 `json:"findings_by_rule,omitempty"`
 	Taint          TaintStats        `json:"taint"`
@@ -240,6 +272,13 @@ func (m *metrics) snapshot(g snapshotGauges) Stats {
 		TraceStoreEnabled:    g.traceEnabled,
 		TraceStore:           g.traces,
 		Trace:                m.c.trace,
+		TriageEnabled:        g.triageEnabled,
+		TriagePolicy:         g.triagePolicy,
+		EventsPublished:      g.eventsPublished,
+		EventsDropped:        g.eventsDropped,
+		EventSubscribers:     g.eventSubscribers,
+		LedgerJobs:           g.ledgerJobs,
+		LedgerEvicted:        g.ledgerEvicted,
 		CacheHits:            m.c.cacheHits,
 		CacheMisses:          m.c.cacheMisses,
 		CacheExpired:         m.c.cacheExpired,
@@ -254,6 +293,18 @@ func (m *metrics) snapshot(g snapshotGauges) Stats {
 	}
 	for rule, n := range m.c.findings {
 		s.FindingsByRule[rule] = n
+	}
+	if len(m.c.triageFindings) > 0 {
+		s.FindingsByRisk = make(map[string]uint64, len(m.c.triageFindings))
+		for risk, n := range m.c.triageFindings {
+			s.FindingsByRisk[risk] = n
+		}
+	}
+	if len(m.c.triageResults) > 0 {
+		s.ResultsByRisk = make(map[string]uint64, len(m.c.triageResults))
+		for risk, n := range m.c.triageResults {
+			s.ResultsByRisk[risk] = n
+		}
 	}
 	cum := uint64(0)
 	for i, le := range latencyBuckets {
@@ -304,6 +355,21 @@ func (s Stats) String() string {
 	}
 	if s.AdmissionShed+s.AdmissionRateLimited > 0 {
 		fmt.Fprintf(&sb, "admission: %d shed, %d rate-limited\n", s.AdmissionShed, s.AdmissionRateLimited)
+	}
+	if s.TriageEnabled {
+		fmt.Fprintf(&sb, "triage: policy %.12s, results", s.TriagePolicy)
+		for _, risk := range []string{"high", "medium", "low"} {
+			fmt.Fprintf(&sb, " %s=%d", risk, s.ResultsByRisk[risk])
+		}
+		sb.WriteString(", findings")
+		for _, risk := range []string{"high", "medium", "low"} {
+			fmt.Fprintf(&sb, " %s=%d", risk, s.FindingsByRisk[risk])
+		}
+		sb.WriteByte('\n')
+	}
+	if s.EventsPublished > 0 || s.EventSubscribers > 0 {
+		fmt.Fprintf(&sb, "events: %d published, %d dropped, %d subscribers; ledger %d jobs (%d evicted)\n",
+			s.EventsPublished, s.EventsDropped, s.EventSubscribers, s.LedgerJobs, s.LedgerEvicted)
 	}
 	fmt.Fprintf(&sb, "guest: %d instructions executed\n", s.Instructions)
 	if t := s.Taint; t.Prepends+t.Unions+t.ShadowWrites > 0 {
@@ -379,6 +445,28 @@ func (s Stats) Prometheus() string {
 		counter("faros_trace_store_corrupt_quarantined_total", "Trace store entries that failed verification and were quarantined.", s.TraceStore.CorruptQuarantined)
 		counter("faros_trace_store_gc_evicted_total", "Trace store entries dropped by TTL or size garbage collection.", s.TraceStore.GCEvicted)
 	}
+	if s.TriageEnabled {
+		gauge("faros_triage_enabled", "Whether a triage risk policy is active.", 1)
+	} else {
+		gauge("faros_triage_enabled", "Whether a triage risk policy is active.", 0)
+	}
+	fmt.Fprintf(&sb, "# HELP faros_triage_findings_total Findings scored by the triage policy, by risk.\n# TYPE faros_triage_findings_total counter\n")
+	for _, risk := range []string{"low", "medium", "high"} {
+		if n, ok := s.FindingsByRisk[risk]; ok {
+			fmt.Fprintf(&sb, "faros_triage_findings_total{risk=%q} %d\n", risk, n)
+		}
+	}
+	fmt.Fprintf(&sb, "# HELP faros_triage_results_total Completed results scored by the triage policy, by aggregate risk.\n# TYPE faros_triage_results_total counter\n")
+	for _, risk := range []string{"low", "medium", "high"} {
+		if n, ok := s.ResultsByRisk[risk]; ok {
+			fmt.Fprintf(&sb, "faros_triage_results_total{risk=%q} %d\n", risk, n)
+		}
+	}
+	counter("faros_events_published_total", "Lifecycle events published to the live event hub.", s.EventsPublished)
+	counter("faros_events_dropped_total", "Per-subscriber event deliveries dropped for slowness.", s.EventsDropped)
+	gauge("faros_event_subscribers", "Current live event-stream subscribers.", s.EventSubscribers)
+	gauge("faros_ledger_jobs", "Job timelines retained in the audit ledger.", s.LedgerJobs)
+	counter("faros_ledger_evicted_total", "Job timelines evicted whole from the audit ledger.", s.LedgerEvicted)
 	counter("faros_trace_ingested_total", "Traces ingested through POST /traces (new store entries only).", s.Trace.Ingested)
 	counter("faros_trace_bytes_total", "Encoded bytes of ingested traces.", s.Trace.Bytes)
 	counter("faros_trace_replays_total", "Analysis-only replays executed from stored traces.", s.Trace.Replays)

@@ -35,6 +35,7 @@ import (
 	"faros/internal/scenario"
 	"faros/internal/store"
 	"faros/internal/trace"
+	"faros/internal/triage"
 )
 
 // Mode selects the analysis workflow a job runs.
@@ -100,6 +101,12 @@ type Finding struct {
 	PID     uint32           `json:"pid"`
 	API     string           `json:"api,omitempty"`
 	Prov    *provgraph.Graph `json:"prov,omitempty"`
+	// Risk is the triage score ("low"/"medium"/"high") and RiskRule the
+	// policy rule that assigned it, when a triage policy is active. With
+	// triage disabled both stay empty and the finding is bit-identical to
+	// the pre-triage encoding.
+	Risk     string `json:"risk,omitempty"`
+	RiskRule string `json:"risk_rule,omitempty"`
 }
 
 // Result is the cacheable outcome of a completed job.
@@ -116,6 +123,12 @@ type Result struct {
 	// Degraded results are not deterministic, so the cache skips them
 	// (or holds them only briefly — see Config.DegradedTTL).
 	Degraded string `json:"degraded,omitempty"`
+
+	// Risk is the run's aggregate triage score (the maximum across
+	// findings; "low" for a clean run) and RiskPolicy the content hash of
+	// the policy that produced it. Both are empty with triage disabled.
+	Risk       string `json:"risk,omitempty"`
+	RiskPolicy string `json:"risk_policy,omitempty"`
 
 	// Prov is the run's merged provenance graph (the union of every
 	// finding's graph); set when the run flagged anything.
@@ -239,6 +252,17 @@ type Config struct {
 	// Traces is the content-addressed trace store ModeTrace jobs load
 	// from (nil disables trace analysis).
 	Traces *trace.Store
+	// Triage is the active risk policy (nil disables scoring). Scoring is
+	// strictly a view over each finding's provenance graph: the flagged
+	// set and every finding field the engine produced stay bit-identical
+	// with triage disabled. The policy's content hash is folded into the
+	// result-cache key, so the same work under a different policy is
+	// different work — a stored trace re-scored under a new policy yields
+	// a new cached result instead of serving the old score.
+	Triage *triage.Policy
+	// LedgerJobs bounds how many job timelines the audit ledger retains
+	// (default 1024; oldest evicted whole).
+	LedgerJobs int
 	// Runner overrides the analysis function (tests only).
 	Runner Runner
 }
@@ -301,6 +325,8 @@ type Pool struct {
 	cfg     Config
 	queue   chan *run
 	metrics *metrics
+	ledger  *triage.Ledger
+	hub     *triage.Hub
 
 	mu        sync.Mutex
 	jobs      map[string]*Job        // active (queued/running) waiter handles
@@ -348,6 +374,8 @@ func New(cfg Config) (*Pool, error) {
 		cfg:       cfg,
 		queue:     make(chan *run, cfg.QueueDepth),
 		metrics:   newMetrics(),
+		ledger:    triage.NewLedger(cfg.LedgerJobs),
+		hub:       triage.NewHub(),
 		jobs:      make(map[string]*Job),
 		inflight:  make(map[string]*run),
 		cache:     make(map[string]*cacheEntry),
@@ -396,9 +424,13 @@ func scenarioRunner(traces *trace.Store) Runner {
 // ModeDetect ignores the engine config — it always runs the paper's
 // default policy — so the key normalizes it to zero there; otherwise
 // identical detect requests that happened to carry different (ignored)
-// configs would spuriously miss. Returns "" for uncacheable requests
-// (endpoint types without a wire encoding, trace jobs with no digest).
-func cacheKey(req Request) string {
+// configs would spuriously miss. When a triage policy is active its
+// content hash is appended (policyHash non-empty): results carry scores,
+// so the same work under a different policy is a different cache entry.
+// With triage disabled the key is byte-identical to the legacy form.
+// Returns "" for uncacheable requests (endpoint types without a wire
+// encoding, trace jobs with no digest).
+func cacheKey(req Request, policyHash string) string {
 	mode := req.Mode
 	if mode == "" {
 		mode = ModeDetect
@@ -424,8 +456,21 @@ func cacheKey(req Request) string {
 	if err != nil {
 		return ""
 	}
-	sum := sha256.Sum256([]byte(id + "|" + string(mode) + "|" + string(cfgJSON)))
+	material := id + "|" + string(mode) + "|" + string(cfgJSON)
+	if policyHash != "" {
+		material += "|" + policyHash
+	}
+	sum := sha256.Sum256([]byte(material))
 	return hex.EncodeToString(sum[:])
+}
+
+// policyHash returns the active triage policy's content identity ("" when
+// triage is disabled) — the cache-key component.
+func (p *Pool) policyHash() string {
+	if p.cfg.Triage == nil {
+		return ""
+	}
+	return p.cfg.Triage.Hash()
 }
 
 // Submit enqueues a request and returns this submission's waiter handle.
@@ -439,7 +484,7 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 	}
 	key := ""
 	if !req.NoCache {
-		key = cacheKey(req)
+		key = cacheKey(req, p.policyHash())
 	}
 
 	p.mu.Lock()
@@ -462,6 +507,8 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 			}
 			p.jobs[job.ID] = job
 			p.metrics.add(func(m *counters) { m.coalesced++ })
+			p.emit(triage.Event{Type: triage.EventCoalesced, Job: job.ID,
+				Scenario: job.Scenario, Hash: job.Hash})
 			return job, nil
 		}
 		if res, ok := p.storeLookupLocked(key); ok {
@@ -488,6 +535,8 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 		p.metrics.add(func(m *counters) { m.cacheMisses++ })
 	}
 	p.metrics.add(func(m *counters) { m.submitted++ })
+	p.emit(triage.Event{Type: triage.EventSubmitted, Job: job.ID,
+		Scenario: job.Scenario, Hash: job.Hash})
 	return job, nil
 }
 
@@ -514,6 +563,8 @@ func (p *Pool) cacheHitJobLocked(req Request, key string, res *Result) *Job {
 	job.finished = time.Now()
 	close(job.done)
 	p.retainLocked(job)
+	p.emit(triage.Event{Type: triage.EventCacheHit, Job: job.ID,
+		Scenario: job.Scenario, Hash: job.Hash, Risk: res.Risk})
 	return job
 }
 
@@ -555,7 +606,7 @@ func (p *Pool) CachedJob(req Request) (*Job, bool) {
 	if req.NoCache {
 		return nil, false
 	}
-	key := cacheKey(req)
+	key := cacheKey(req, p.policyHash())
 	if key == "" {
 		return nil, false
 	}
@@ -612,6 +663,44 @@ func (p *Pool) NoteTraceIngested(n int) {
 // hash or memory-image digest did not match the job.
 func (p *Pool) NoteTraceMismatch() {
 	p.metrics.add(func(m *counters) { m.trace.DigestMismatch++ })
+}
+
+// emit publishes one lifecycle event to the live stream and, when it is
+// job-scoped, appends the stamped copy to the audit ledger — the ledger
+// records exactly what streamed, sequence number included. Safe to call
+// with or without p.mu held (the hub and ledger have their own locks and
+// never call back into the pool).
+func (p *Pool) emit(e triage.Event) {
+	e.Time = time.Now()
+	p.ledger.Append(p.hub.Publish(e))
+}
+
+// Subscribe attaches a live event-stream consumer (the GET /events SSE
+// surface) with the given channel buffer. Close the subscriber when done;
+// the channel also closes when the pool shuts down.
+func (p *Pool) Subscribe(buf int) *triage.Subscriber { return p.hub.Subscribe(buf) }
+
+// JobEvents returns one job's audit-ledger timeline, oldest first;
+// ok=false when the job was never ledgered or its timeline was evicted.
+func (p *Pool) JobEvents(id string) ([]triage.Event, bool) { return p.ledger.Job(id) }
+
+// TriagePolicy returns the active risk policy (nil when triage is
+// disabled).
+func (p *Pool) TriagePolicy() *triage.Policy { return p.cfg.Triage }
+
+// NoteShed records a queue-saturation rejection on the metrics and event
+// surfaces (stream-only: no job exists to ledger under).
+func (p *Pool) NoteShed(scenario string) {
+	p.metrics.add(func(m *counters) { m.admissionShed++ })
+	p.emit(triage.Event{Type: triage.EventShed, Scenario: scenario,
+		Detail: "queue saturated; serving cached results only"})
+}
+
+// NoteRateLimited records a per-client rate-limit rejection on the
+// metrics and event surfaces (stream-only).
+func (p *Pool) NoteRateLimited() {
+	p.metrics.add(func(m *counters) { m.admissionRateLimited++ })
+	p.emit(triage.Event{Type: triage.EventRateLimited, Detail: "per-client rate limit exceeded"})
 }
 
 // JobErr returns a waiter handle's typed terminal error (nil while
@@ -750,6 +839,7 @@ func (p *Pool) finishRunLocked(r *run, res *scenario.Result, err error) (persist
 	switch {
 	case err == nil:
 		result := buildResult(r, res)
+		p.scoreResult(result)
 		waiters := len(r.waiters)
 		p.metrics.add(func(m *counters) {
 			m.done += uint64(waiters)
@@ -800,6 +890,15 @@ func (p *Pool) finishRunLocked(r *run, res *scenario.Result, err error) (persist
 			}
 		}
 		for _, w := range r.waiters {
+			if result.Degraded != "" {
+				p.emit(triage.Event{Type: triage.EventDegraded, Job: w.ID,
+					Scenario: w.Scenario, Hash: w.Hash, Detail: result.Degraded})
+			}
+			for _, f := range result.Findings {
+				p.emit(triage.Event{Type: triage.EventFlagged, Job: w.ID,
+					Scenario: w.Scenario, Hash: w.Hash,
+					Rule: f.Rule, Risk: f.Risk, RiskRule: f.RiskRule})
+			}
 			p.settleLocked(w, StateDone, result, nil, now)
 		}
 	case errors.As(err, &de):
@@ -839,6 +938,54 @@ func (p *Pool) settleLocked(job *Job, state State, res *Result, err error, now t
 	close(job.done)
 	delete(p.jobs, job.ID)
 	p.retainLocked(job)
+	ev := triage.Event{Job: job.ID, Scenario: job.Scenario, Hash: job.Hash}
+	switch state {
+	case StateDone:
+		ev.Type = triage.EventDone
+		if res != nil {
+			ev.Risk = res.Risk
+		}
+	case StateCanceled:
+		ev.Type = triage.EventCanceled
+	default:
+		ev.Type = triage.EventFailed
+		if err != nil {
+			ev.Detail = err.Error()
+		}
+	}
+	p.emit(ev)
+}
+
+// scoreResult applies the active triage policy to a freshly built result:
+// each finding gets the first-match-wins score over its provenance graph,
+// and the result carries the aggregate (maximum; "low" for a clean run)
+// plus the policy's content hash. A no-op with triage disabled, keeping
+// the result bit-identical to the pre-triage encoding. Scoring happens
+// here — after buildResult, before caching — so it applies equally to
+// detect, live, and trace-replay jobs, and cached copies carry scores
+// consistent with the policy hash in their cache key.
+func (p *Pool) scoreResult(result *Result) {
+	pol := p.cfg.Triage
+	if pol == nil {
+		return
+	}
+	var scores []triage.Score
+	for i := range result.Findings {
+		f := &result.Findings[i]
+		a := pol.ScoreFinding(f.Rule, f.Prov)
+		f.Risk = a.Score.String()
+		f.RiskRule = a.Rule
+		scores = append(scores, a.Score)
+	}
+	agg := triage.Aggregate(scores...)
+	result.Risk = agg.String()
+	result.RiskPolicy = pol.Hash()
+	p.metrics.add(func(m *counters) {
+		for _, s := range scores {
+			m.triageFindings[s.String()]++
+		}
+		m.triageResults[agg.String()]++
+	})
 }
 
 // buildResult summarizes a scenario result for the service surface.
@@ -1130,6 +1277,12 @@ func (p *Pool) Stats() Stats {
 		g.traceEnabled = true
 		g.traces = p.cfg.Traces.Stats()
 	}
+	if p.cfg.Triage != nil {
+		g.triageEnabled = true
+		g.triagePolicy = p.cfg.Triage.Hash()
+	}
+	g.eventsPublished, g.eventsDropped, g.eventSubscribers = p.hub.Stats()
+	g.ledgerJobs, g.ledgerEvicted = p.ledger.Stats()
 	return p.metrics.snapshot(g)
 }
 
@@ -1161,4 +1314,5 @@ func (p *Pool) Close() {
 	close(p.queue)
 	p.mu.Unlock()
 	p.wg.Wait()
+	p.hub.Close()
 }

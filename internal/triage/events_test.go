@@ -1,0 +1,199 @@
+package triage
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLedgerAppendAndFetch(t *testing.T) {
+	l := NewLedger(4)
+	l.Append(Event{Job: "j1", Type: EventSubmitted})
+	l.Append(Event{Job: "j1", Type: EventFlagged, Rule: "netflow-export", Risk: "high"})
+	l.Append(Event{Job: "j1", Type: EventDone})
+
+	evs, ok := l.Job("j1")
+	if !ok || len(evs) != 3 {
+		t.Fatalf("Job(j1) = %d events, ok=%v; want 3, true", len(evs), ok)
+	}
+	if evs[0].Type != EventSubmitted || evs[1].Type != EventFlagged || evs[2].Type != EventDone {
+		t.Fatalf("timeline out of append order: %+v", evs)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the ledger.
+	evs[0].Type = "mutated"
+	again, _ := l.Job("j1")
+	if again[0].Type != EventSubmitted {
+		t.Fatal("Job returned a live reference to the timeline")
+	}
+	if _, ok := l.Job("nope"); ok {
+		t.Fatal("unknown job should report ok=false")
+	}
+	// Jobless events are ignored, not ledgered under "".
+	l.Append(Event{Type: EventShed})
+	if _, ok := l.Job(""); ok {
+		t.Fatal("jobless event must not create a timeline")
+	}
+}
+
+func TestLedgerEvictsOldestWholeTimelines(t *testing.T) {
+	l := NewLedger(2)
+	l.Append(Event{Job: "a", Type: EventSubmitted})
+	l.Append(Event{Job: "b", Type: EventSubmitted})
+	l.Append(Event{Job: "a", Type: EventDone}) // existing job: no eviction
+	l.Append(Event{Job: "c", Type: EventSubmitted})
+
+	if _, ok := l.Job("a"); ok {
+		t.Fatal("oldest job should have been evicted whole")
+	}
+	if evs, ok := l.Job("b"); !ok || len(evs) != 1 {
+		t.Fatalf("job b should survive intact, got ok=%v len=%d", ok, len(evs))
+	}
+	if _, ok := l.Job("c"); !ok {
+		t.Fatal("newest job missing")
+	}
+	jobs, evicted := l.Stats()
+	if jobs != 2 || evicted != 1 {
+		t.Fatalf("Stats = (%d, %d), want (2, 1)", jobs, evicted)
+	}
+}
+
+func TestLedgerFetchIsPrefixOfNextFetch(t *testing.T) {
+	l := NewLedger(8)
+	l.Append(Event{Job: "j", Type: EventSubmitted})
+	first, _ := l.Job("j")
+	l.Append(Event{Job: "j", Type: EventDone})
+	second, _ := l.Job("j")
+	if len(second) != len(first)+1 {
+		t.Fatalf("timeline shrank or jumped: %d -> %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("append-only violated at %d: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}
+
+func TestHubFanOutAndSequence(t *testing.T) {
+	h := NewHub()
+	s1 := h.Subscribe(8)
+	s2 := h.Subscribe(8)
+
+	e1 := h.Publish(Event{Type: EventSubmitted, Job: "j", Time: time.Unix(1, 0)})
+	e2 := h.Publish(Event{Type: EventDone, Job: "j", Time: time.Unix(2, 0)})
+	if e1.Seq != 1 || e2.Seq != 2 {
+		t.Fatalf("publish stamped seqs %d, %d; want 1, 2", e1.Seq, e2.Seq)
+	}
+	for _, s := range []*Subscriber{s1, s2} {
+		got := <-s.Events()
+		if got.Seq != 1 || got.Type != EventSubmitted {
+			t.Fatalf("first delivery = %+v", got)
+		}
+		got = <-s.Events()
+		if got.Seq != 2 || got.Type != EventDone {
+			t.Fatalf("second delivery = %+v", got)
+		}
+	}
+
+	s1.Close()
+	s1.Close() // idempotent
+	if _, open := <-s1.Events(); open {
+		t.Fatal("closed subscriber's channel should be closed")
+	}
+	h.Publish(Event{Type: EventFailed})
+	if got := <-s2.Events(); got.Type != EventFailed {
+		t.Fatalf("surviving subscriber missed event: %+v", got)
+	}
+
+	published, dropped, subs := h.Stats()
+	if published != 3 || dropped != 0 || subs != 1 {
+		t.Fatalf("Stats = (%d, %d, %d), want (3, 0, 1)", published, dropped, subs)
+	}
+}
+
+func TestHubDropsOnSlowSubscriber(t *testing.T) {
+	h := NewHub()
+	slow := h.Subscribe(1)
+	h.Publish(Event{Type: EventSubmitted}) // fills the buffer
+	h.Publish(Event{Type: EventDone})      // dropped, never blocks
+
+	_, dropped, _ := h.Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	got := <-slow.Events()
+	if got.Seq != 1 {
+		t.Fatalf("slow subscriber kept seq %d, want 1 (the gap marks the loss)", got.Seq)
+	}
+	next := h.Publish(Event{Type: EventFailed})
+	if got := <-slow.Events(); got.Seq != next.Seq {
+		t.Fatalf("post-drop delivery seq %d, want %d", got.Seq, next.Seq)
+	}
+}
+
+func TestHubClose(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe(1)
+	h.Close()
+	h.Close() // idempotent
+	if _, open := <-s.Events(); open {
+		t.Fatal("Close must close subscriber channels")
+	}
+	if e := h.Publish(Event{Type: EventDone}); e.Seq != 0 {
+		t.Fatal("publish on a closed hub must not stamp a sequence")
+	}
+	late := h.Subscribe(1)
+	if _, open := <-late.Events(); open {
+		t.Fatal("subscribing to a closed hub must return a closed channel")
+	}
+	late.Close() // must not panic on an unregistered subscriber
+}
+
+func TestHubAndLedgerConcurrency(t *testing.T) {
+	h := NewHub()
+	l := NewLedger(64)
+	var wg sync.WaitGroup
+
+	// Churning subscribers while publishers run exercises the lock paths
+	// under -race.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s := h.Subscribe(4)
+				select { // drain one if already delivered; never block
+				case <-s.Events():
+				default:
+				}
+				s.Close()
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				e := h.Publish(Event{Type: EventSubmitted, Job: "job"})
+				l.Append(e)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("concurrency test wedged")
+	}
+	h.Close()
+
+	published, _, _ := h.Stats()
+	if published != 800 {
+		t.Fatalf("published = %d, want 800", published)
+	}
+	evs, ok := l.Job("job")
+	if !ok || len(evs) != 800 {
+		t.Fatalf("ledger holds %d events, want 800", len(evs))
+	}
+}

@@ -1,0 +1,104 @@
+package faros_test
+
+import (
+	"testing"
+
+	"faros"
+	"faros/internal/triage"
+)
+
+// scoreRun applies a policy to every finding of an analyzed run and
+// returns the aggregate (maximum) risk.
+func scoreRun(pol *triage.Policy, res *faros.Result) triage.Score {
+	var scores []triage.Score
+	for _, f := range res.Faros.Findings() {
+		scores = append(scores, pol.ScoreFinding(f.Rule, f.Prov).Score)
+	}
+	return triage.Aggregate(scores...)
+}
+
+// TestDefaultPolicyCorpusSweep is the triage acceptance sweep: the
+// shipped default policy ranks reflective_dll_inject (and every other
+// cross-process attack) high, while the benign and JIT corpora rank low
+// — including the paper's two known JIT false positives, whose
+// single-process provenance shape the default policy demotes. Triage is
+// a pure view: the flagged/unflagged split must be exactly what the
+// engine reported before triage existed (zero new false positives).
+func TestDefaultPolicyCorpusSweep(t *testing.T) {
+	pol := triage.Default()
+	scenarios := faros.Scenarios()
+
+	run := func(name string) (*faros.Result, triage.Score) {
+		t.Helper()
+		spec, ok := scenarios[name]
+		if !ok {
+			t.Fatalf("unknown scenario %q", name)
+		}
+		res, err := faros.AnalyzeWith(spec, faros.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return res, scoreRun(pol, res)
+	}
+
+	// The headline acceptance case, plus every attack whose provenance
+	// crosses a process boundary.
+	highAttacks := []string{
+		"reflective_dll_inject", "bypassuac_injection", "process_hollowing",
+		"darkcomet", "njrat", "transient_reflective",
+	}
+	for _, name := range highAttacks {
+		res, score := run(name)
+		if !res.Flagged() {
+			t.Errorf("%s: not flagged", name)
+			continue
+		}
+		if score != triage.ScoreHigh {
+			t.Errorf("%s: aggregate risk %v, want high", name, score)
+		}
+	}
+
+	// reverse_tcp_dns executes its downloaded shellcode in-process; its
+	// graph is identical to the JIT false positives, so the default
+	// policy deliberately ranks it low (a stricter policy can re-score
+	// the stored trace). It must still be *flagged*.
+	if res, score := run("reverse_tcp_dns"); !res.Flagged() || score != triage.ScoreLow {
+		t.Errorf("reverse_tcp_dns: flagged=%v risk=%v, want flagged low", res.Flagged(), score)
+	}
+
+	// JIT corpus: risk low across the board, and the flagged set is
+	// exactly the engine's pre-triage 2/20 — no new false positives.
+	jitFlagged := 0
+	for _, spec := range scenarios {
+		if len(spec.Name) < 4 || spec.Name[:4] != "jit_" {
+			continue
+		}
+		res, score := run(spec.Name)
+		if res.Flagged() != spec.ExpectFlag {
+			t.Errorf("%s: flagged=%v want %v (triage must not change detection)", spec.Name, res.Flagged(), spec.ExpectFlag)
+		}
+		if res.Flagged() {
+			jitFlagged++
+		}
+		if score != triage.ScoreLow {
+			t.Errorf("%s: risk %v, want low", spec.Name, score)
+		}
+	}
+	if jitFlagged != 2 {
+		t.Errorf("JIT flagged = %d, want the paper's 2/20", jitFlagged)
+	}
+
+	// Benign corpus: nothing flagged, everything low.
+	for _, spec := range scenarios {
+		if len(spec.Name) < 7 || spec.Name[:7] != "benign_" {
+			continue
+		}
+		res, score := run(spec.Name)
+		if res.Flagged() {
+			t.Errorf("%s: false positive", spec.Name)
+		}
+		if score != triage.ScoreLow {
+			t.Errorf("%s: risk %v, want low", spec.Name, score)
+		}
+	}
+}
