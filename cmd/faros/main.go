@@ -12,6 +12,17 @@
 //	faros -file my_attack.json           # bring-your-own-shellcode scenario
 //	faros -scenario evasion_hardcoded_stubs -strict
 //	faros -scenario darkcomet -timeout 30s
+//	faros -server http://localhost:7373 -scenario njrat
+//	faros -server http://localhost:7373 -trace run.ftrc -prov-format dot
+//
+// With -server, the analysis runs on a farosd (or farosd fleet) instead
+// of in-process: scenarios submit by name, -file specs upload in the
+// canonical wire form, and -trace uploads the recording to POST /traces
+// and replays it remotely. -triage-policy then re-scores the returned
+// findings client-side (scoring is a pure view over the provenance
+// graphs, so the findings themselves are untouched), and -prov-format
+// renders the returned merged graph. -cuckoo and -malfind need the
+// in-process baseline plugins and are ignored remotely.
 //
 // A trace file (-record-out) is the versioned internal/trace wire format:
 // self-contained (the spec rides in the header), verified end-to-end by
@@ -81,6 +92,7 @@ func run() int {
 	provFormat := flag.String("prov-format", "text", "render the merged provenance graph: text (default, paper-style chains only), json, or dot")
 	timeout := flag.Duration("timeout", 0, "abort the analysis after this wall time (0 = no limit)")
 	triagePolicy := flag.String("triage-policy", "", "risk-score findings: 'default' for the built-in policy, or a policy JSON file path (empty = off)")
+	server := flag.String("server", "", "farosd base URL: run the analysis remotely instead of in-process")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -112,6 +124,20 @@ func run() int {
 			return 1
 		}
 		opts.policy = pol
+	}
+
+	if *server != "" {
+		return runRemote(ctx, remoteArgs{
+			base:      *server,
+			scenario:  *name,
+			file:      *file,
+			traceIn:   *traceIn,
+			list:      *list,
+			strict:    *strict,
+			addrDeps:  *addrDeps,
+			timeout:   *timeout,
+			recordOut: firstNonEmpty(*recordOut, *save),
+		}, opts)
 	}
 
 	if *list {

@@ -13,6 +13,8 @@
 //	farosd -rate-limit 50 -rate-burst 100 -shed-threshold 0.8
 //	farosd -trace-dir /var/lib/faros/traces -trace-max-bytes 4294967296
 //	farosd -triage-policy policy.json -ledger 4096
+//	farosd -node-id a -peers-file peers.json            # one node of a fleet
+//	farosd -node-id a -peers b=http://h2:7373,c=http://h3:7373
 //
 // With -store-dir, completed results are persisted with per-entry
 // checksums and atomic writes; a restarted farosd verifies the store,
@@ -22,6 +24,11 @@
 // keep serving. With -trace-dir, farosd is a replay farm: recorded traces
 // (faros -record-out) are uploaded once, deduplicated by content digest,
 // and analyzed under any number of engine configs without live execution.
+// With -node-id and -peers / -peers-file, farosd joins an N-node fleet: a
+// deterministic consistent-hash ring shards spec hashes and trace digests
+// across nodes, non-owned work forwards to its owner (one hop, guarded by
+// the X-Faros-Forwarded header) and the answer is backfilled locally, and
+// a down owner degrades to local execution instead of failing.
 // With -triage-policy (on by default), every finding is risk-scored
 // against a declarative policy — scoring is strictly a view over the
 // provenance graph, so findings stay bit-identical to an unscored run —
@@ -50,22 +57,59 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"faros"
+	"faros/internal/cluster"
 	"faros/internal/pipeline"
 	"faros/internal/samples"
 	"faros/internal/store"
 	"faros/internal/trace"
 	"faros/internal/triage"
 )
+
+// parsePeers merges the -peers flag (comma-separated id=url pairs) over a
+// -peers-file (a JSON object mapping node ID to base URL; an entry for
+// this node is fine — every node can share one fleet file). Returns nil
+// when neither source names a peer.
+func parsePeers(flagVal, filePath string) (map[string]string, error) {
+	peers := make(map[string]string)
+	if filePath != "" {
+		data, err := os.ReadFile(filePath)
+		if err != nil {
+			return nil, fmt.Errorf("peers file: %w", err)
+		}
+		if err := json.Unmarshal(data, &peers); err != nil {
+			return nil, fmt.Errorf("peers file %s: %w (want a JSON object of node-id to base-URL)", filePath, err)
+		}
+	}
+	if flagVal != "" {
+		for _, pair := range strings.Split(flagVal, ",") {
+			pair = strings.TrimSpace(pair)
+			if pair == "" {
+				continue
+			}
+			id, url, ok := strings.Cut(pair, "=")
+			if !ok || id == "" || url == "" {
+				return nil, fmt.Errorf("-peers entry %q: want id=url", pair)
+			}
+			peers[id] = url
+		}
+	}
+	if len(peers) == 0 {
+		return nil, nil
+	}
+	return peers, nil
+}
 
 func main() {
 	os.Exit(run())
@@ -94,7 +138,34 @@ func run() int {
 	rateBurst := flag.Int("rate-burst", 0, "per-client burst size (0 = derived from -rate-limit)")
 	shedThreshold := flag.Float64("shed-threshold", 0, "queue saturation fraction at which new work sheds with 429 (0 = default 0.9, negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max time to drain in-flight jobs at shutdown")
+	nodeID := flag.String("node-id", "", "this node's cluster ID (required with -peers / -peers-file)")
+	advertise := flag.String("advertise", "", "base URL peers reach this node at (informational; a shared peers file may already carry it)")
+	peersFlag := flag.String("peers", "", "comma-separated peer list: id=http://host:port,...")
+	peersFile := flag.String("peers-file", "", "static peer file: JSON object of node-id to base-URL for the whole fleet")
+	probeInterval := flag.Duration("probe-interval", 0, "peer health-probe cadence (0 = default 2s)")
 	flag.Parse()
+
+	peers, err := parsePeers(*peersFlag, *peersFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "farosd: %v\n", err)
+		return 2
+	}
+	var clus *cluster.Cluster
+	if peers != nil {
+		if *nodeID == "" {
+			fmt.Fprintln(os.Stderr, "farosd: -peers / -peers-file requires -node-id")
+			return 2
+		}
+		clus, err = cluster.New(cluster.Config{
+			Self:          *nodeID,
+			Peers:         peers,
+			ProbeInterval: *probeInterval,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "farosd: %v\n", err)
+			return 2
+		}
+	}
 
 	var st *store.Store
 	if *storeDir != "" {
@@ -151,7 +222,7 @@ func run() int {
 		return 2
 	}
 
-	pool, err := pipeline.New(pipeline.Config{
+	poolCfg := pipeline.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		JobTimeout:      *timeout,
@@ -165,10 +236,27 @@ func run() int {
 		Traces:          traces,
 		Triage:          policy,
 		LedgerJobs:      *ledgerJobs,
-	})
+		NodeID:          *nodeID,
+	}
+	if clus != nil {
+		// The nil guard matters: assigning a nil *cluster.Cluster into the
+		// interface field would make Config.Cluster non-nil.
+		poolCfg.Cluster = clus
+	}
+	pool, err := pipeline.New(poolCfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "farosd: %v\n", err)
 		return 2
+	}
+	if clus != nil {
+		clus.Start()
+		defer clus.Close()
+		self := *advertise
+		if self == "" {
+			self = peers[*nodeID]
+		}
+		fmt.Printf("farosd: cluster node %q at %s: %d peers, %d-point ring\n",
+			*nodeID, self, len(clus.Registry().Status()), clus.Ring().Points())
 	}
 	handler := pipeline.NewHandler(pool, pipeline.ServerConfig{
 		Resolve: func(name string) (samples.Spec, bool) {

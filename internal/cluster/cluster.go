@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"faros/internal/pipeline"
+	"faros/internal/pipeline/client"
+)
+
+// Config describes one node's view of the fleet.
+type Config struct {
+	// Self is this node's ID. Required.
+	Self string
+	// Peers maps node ID to base URL for every node in the fleet. An
+	// entry for Self is tolerated and ignored (peer files list the whole
+	// fleet so every node can share one file).
+	Peers map[string]string
+	// VirtualNodes per ring node (<=0 uses DefaultVirtualNodes).
+	VirtualNodes int
+	// ProbeInterval is the steady-state peer health-probe cadence
+	// (default 2s); down peers re-probe with jittered exponential
+	// backoff up to MaxBackoff (default 30s).
+	ProbeInterval time.Duration
+	MaxBackoff    time.Duration
+	// HTTP overrides the transport for probes and forwards.
+	HTTP *http.Client
+	// ForwardAttempts bounds the retrying client's tries per forward
+	// (default 3 — forwards should fail over to local execution quickly,
+	// not wait out a long backoff ladder).
+	ForwardAttempts int
+	// Seed makes probe jitter and forward backoff deterministic (0 =
+	// fixed default).
+	Seed uint64
+}
+
+// Cluster implements pipeline.Forwarder: the deterministic ring resolves
+// every shard key to its owner, the registry tracks peer health, and
+// per-peer retrying clients carry forwarded work with the hop-guard
+// header pre-set.
+type Cluster struct {
+	self     string
+	ring     *Ring
+	registry *Registry
+
+	mu      sync.Mutex
+	clients map[string]*client.Client
+}
+
+// New validates cfg and builds the cluster state. Call Start to begin
+// health probing and Close on shutdown.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Config.Self is required")
+	}
+	peers := make(map[string]string, len(cfg.Peers))
+	nodes := []string{cfg.Self}
+	for node, url := range cfg.Peers {
+		if node == cfg.Self {
+			continue
+		}
+		if node == "" || url == "" {
+			return nil, fmt.Errorf("cluster: peer entry %q=%q: both node ID and URL are required", node, url)
+		}
+		peers[node] = url
+		nodes = append(nodes, node)
+	}
+	c := &Cluster{
+		self: cfg.Self,
+		ring: NewRing(nodes, cfg.VirtualNodes),
+		registry: NewRegistry(RegistryConfig{
+			Peers:      peers,
+			Interval:   cfg.ProbeInterval,
+			MaxBackoff: cfg.MaxBackoff,
+			HTTP:       cfg.HTTP,
+			Seed:       cfg.Seed,
+		}),
+		clients: make(map[string]*client.Client, len(peers)),
+	}
+	attempts := cfg.ForwardAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	hop := http.Header{pipeline.ForwardedHeader: []string{cfg.Self}}
+	for node, url := range peers {
+		cli, err := client.New(client.Config{
+			BaseURL:     url,
+			HTTP:        cfg.HTTP,
+			MaxAttempts: attempts,
+			BaseDelay:   50 * time.Millisecond,
+			MaxDelay:    500 * time.Millisecond,
+			Seed:        cfg.Seed,
+			Headers:     hop,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peer %s: %w", node, err)
+		}
+		c.clients[node] = cli
+	}
+	return c, nil
+}
+
+// Start launches peer health probing.
+func (c *Cluster) Start() { c.registry.Start() }
+
+// Close stops the probe loop.
+func (c *Cluster) Close() { c.registry.Close() }
+
+// Ring exposes the assignment ring (tests, tooling).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Registry exposes the health registry (tests, tooling).
+func (c *Cluster) Registry() *Registry { return c.registry }
+
+// NodeID implements pipeline.Forwarder.
+func (c *Cluster) NodeID() string { return c.self }
+
+// Owner implements pipeline.Forwarder.
+func (c *Cluster) Owner(key string) (node string, self, up bool) {
+	node = c.ring.Owner(key)
+	if node == "" || node == c.self {
+		return c.self, true, true
+	}
+	return node, false, c.registry.Up(node)
+}
+
+// WalkUp implements pipeline.Forwarder: the up peers in ring-walk order
+// for a key, self excluded.
+func (c *Cluster) WalkUp(key string) []string {
+	var out []string
+	for _, node := range c.ring.Replicas(key, c.ring.Len()) {
+		if node == c.self || !c.registry.Up(node) {
+			continue
+		}
+		out = append(out, node)
+	}
+	return out
+}
+
+// peerClient returns the retrying client for a peer.
+func (c *Cluster) peerClient(node string) (*client.Client, error) {
+	c.mu.Lock()
+	cli, ok := c.clients[node]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown peer %s", node)
+	}
+	return cli, nil
+}
+
+// forwardErr converts a client failure into the pipeline's typed view: a
+// definitive peer status becomes *pipeline.ForwardError; transport
+// give-ups mark the peer down (the probe loop restores it) and pass
+// through as plain errors, which the caller degrades to local execution.
+func (c *Cluster) forwardErr(node string, err error) error {
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		return &pipeline.ForwardError{Node: node, Status: se.Status, Msg: se.Msg}
+	}
+	c.registry.MarkDown(node, err.Error())
+	return err
+}
+
+// AnalyzePeer implements pipeline.Forwarder.
+func (c *Cluster) AnalyzePeer(ctx context.Context, node string, req pipeline.AnalyzeRequest) (*pipeline.JobView, error) {
+	cli, err := c.peerClient(node)
+	if err != nil {
+		return nil, err
+	}
+	view, err := cli.Analyze(ctx, req)
+	if err != nil {
+		return nil, c.forwardErr(node, err)
+	}
+	return view, nil
+}
+
+// ResultPeer implements pipeline.Forwarder.
+func (c *Cluster) ResultPeer(ctx context.Context, node string, hash string) (*pipeline.Result, error) {
+	cli, err := c.peerClient(node)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cli.Result(ctx, hash)
+	if err != nil {
+		return nil, c.forwardErr(node, err)
+	}
+	return res, nil
+}
+
+// TracePeer implements pipeline.Forwarder.
+func (c *Cluster) TracePeer(ctx context.Context, node string, data []byte) (string, error) {
+	cli, err := c.peerClient(node)
+	if err != nil {
+		return "", err
+	}
+	digest, _, err := cli.PutTrace(ctx, data)
+	if err != nil {
+		return "", c.forwardErr(node, err)
+	}
+	return digest, nil
+}
+
+// PeerHealth implements pipeline.Forwarder.
+func (c *Cluster) PeerHealth() []pipeline.PeerHealth {
+	st := c.registry.Status()
+	out := make([]pipeline.PeerHealth, len(st))
+	for i, p := range st {
+		out[i] = pipeline.PeerHealth{Node: p.Node, URL: p.URL, Up: p.Up, LastError: p.LastErr}
+	}
+	return out
+}

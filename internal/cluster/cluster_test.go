@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"faros/internal/pipeline"
+)
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing Self must be rejected")
+	}
+	if _, err := New(Config{Self: "a", Peers: map[string]string{"": "http://x"}}); err == nil {
+		t.Fatal("empty peer ID must be rejected")
+	}
+	if _, err := New(Config{Self: "a", Peers: map[string]string{"b": ""}}); err == nil {
+		t.Fatal("empty peer URL must be rejected")
+	}
+	// A shared fleet file lists every node including self; the self entry
+	// is ignored rather than rejected.
+	c, err := New(Config{Self: "a", Peers: map[string]string{"a": "http://a", "b": "http://b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Ring().Len(); got != 2 {
+		t.Fatalf("ring has %d nodes, want 2 (self + b)", got)
+	}
+	if len(c.Registry().Status()) != 1 {
+		t.Fatal("self must not be probed as a peer")
+	}
+}
+
+func TestClusterOwnerAndWalk(t *testing.T) {
+	c, err := New(Config{Self: "a", Peers: map[string]string{"b": "http://b", "c": "http://c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NodeID() != "a" {
+		t.Fatalf("NodeID() = %q", c.NodeID())
+	}
+	sawSelf, sawPeerDown := false, false
+	for _, k := range testKeys(200) {
+		node, self, up := c.Owner(k)
+		if self {
+			if node != "a" || !up {
+				t.Fatalf("self-owned key %s: node=%s up=%v", k, node, up)
+			}
+			sawSelf = true
+			continue
+		}
+		// No probe has run, so every peer owner must report down.
+		if up {
+			t.Fatalf("peer %s reports up before any probe", node)
+		}
+		sawPeerDown = true
+		if c.Ring().Owner(k) != node {
+			t.Fatalf("Owner disagrees with ring for %s", k)
+		}
+	}
+	if !sawSelf || !sawPeerDown {
+		t.Fatalf("key sample never exercised both branches (self=%v peer=%v)", sawSelf, sawPeerDown)
+	}
+	// With every peer down the up-walk is empty; self never appears.
+	if walk := c.WalkUp("some-key"); len(walk) != 0 {
+		t.Fatalf("WalkUp with all peers down = %v", walk)
+	}
+}
+
+// TestClusterForwardErrors pins the error taxonomy: a definitive peer
+// status becomes *pipeline.ForwardError and leaves the peer up; a
+// transport failure marks the peer down and passes through.
+func TestClusterForwardErrors(t *testing.T) {
+	// Peer b answers 409 (a deterministic rejection); peer c is a dead
+	// port (transport error).
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		if got := r.Header.Get(pipeline.ForwardedHeader); got != "a" {
+			t.Errorf("forward arrived with hop header %q, want %q", got, "a")
+		}
+		http.Error(w, `{"error":"spec hash mismatch"}`, http.StatusConflict)
+	}))
+	defer srv.Close()
+
+	c, err := New(Config{
+		Self:            "a",
+		Peers:           map[string]string{"b": srv.URL, "c": "http://127.0.0.1:1"},
+		ForwardAttempts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Registry().ProbeAll()
+	if !c.Registry().Up("b") {
+		t.Fatal("b should probe up")
+	}
+
+	_, err = c.AnalyzePeer(context.Background(), "b", pipeline.AnalyzeRequest{Scenario: "x"})
+	var fe *pipeline.ForwardError
+	if !errors.As(err, &fe) || fe.Status != http.StatusConflict || fe.Node != "b" {
+		t.Fatalf("want ForwardError{409, b}, got %v", err)
+	}
+	if !c.Registry().Up("b") {
+		t.Fatal("a definitive peer answer must not mark the peer down")
+	}
+
+	_, err = c.ResultPeer(context.Background(), "c", "deadbeef")
+	if err == nil || errors.As(err, &fe) {
+		t.Fatalf("transport failure must pass through untyped, got %v", err)
+	}
+	if c.Registry().Up("c") {
+		t.Fatal("transport failure must mark the peer down")
+	}
+
+	if _, err := c.AnalyzePeer(context.Background(), "ghost", pipeline.AnalyzeRequest{}); err == nil {
+		t.Fatal("unknown peer must error")
+	}
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys yields n deterministic shard-key-shaped strings.
+func testKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("sha256:%064x", i*2654435761)
+	}
+	return out
+}
+
+// TestRingReorderStability is the set-determinism property: the
+// assignment depends only on the node ID set, never on the order the
+// nodes were listed in (peer files are unordered JSON objects, so two
+// nodes of one fleet must not disagree about ownership).
+func TestRingReorderStability(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	base := NewRing(nodes, 0)
+	perms := [][]string{
+		{"e", "d", "c", "b", "a"},
+		{"c", "a", "e", "b", "d"},
+		{"b", "e", "a", "d", "c"},
+		// duplicates collapse, so a listing with repeats agrees too
+		{"a", "a", "b", "c", "d", "e", "e"},
+	}
+	keys := testKeys(2000)
+	for pi, perm := range perms {
+		r := NewRing(perm, 0)
+		for _, k := range keys {
+			if got, want := r.Owner(k), base.Owner(k); got != want {
+				t.Fatalf("perm %d: Owner(%s) = %s, want %s", pi, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingRemovalRemap pins the consistent-hashing contract over 10k
+// keys: removing one of N nodes remaps only that node's share (~1/N) of
+// the key space, and every key it did not own keeps its owner.
+func TestRingRemovalRemap(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	full := NewRing(nodes, 0)
+	without := NewRing([]string{"a", "b", "c", "d"}, 0) // "e" removed
+	keys := testKeys(10000)
+	moved := 0
+	for _, k := range keys {
+		before, after := full.Owner(k), without.Owner(k)
+		if before != "e" && before != after {
+			t.Fatalf("key %s moved %s -> %s though its owner never left", k, before, after)
+		}
+		if before != after {
+			moved++
+		}
+	}
+	// E[moved] = 10000/5 = 2000; with 64 vnodes the spread stays within a
+	// loose factor-of-two band. A naive mod-N hash would move ~8000.
+	if moved < 1000 || moved > 3500 {
+		t.Fatalf("removing 1 of 5 nodes remapped %d/10000 keys, want ~2000", moved)
+	}
+	t.Logf("remapped %d/10000 keys (ideal 2000)", moved)
+}
+
+// TestRingSpread sanity-checks assignment balance: with 64 virtual nodes
+// per node, no node's share over 10k keys should stray wildly from 1/N.
+func TestRingSpread(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d", "e"}, 0)
+	counts := map[string]int{}
+	for _, k := range testKeys(10000) {
+		counts[r.Owner(k)]++
+	}
+	for node, n := range counts {
+		if n < 800 || n > 3500 {
+			t.Fatalf("node %s owns %d/10000 keys (ideal 2000): spread too skewed", node, n)
+		}
+	}
+}
+
+// TestRingReplicas pins the ordered-walk contract: the owner leads, every
+// node appears at most once, and n clamps to the node count.
+func TestRingReplicas(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 0)
+	for _, k := range testKeys(100) {
+		reps := r.Replicas(k, 5)
+		if len(reps) != 3 {
+			t.Fatalf("Replicas(%s, 5) = %v, want all 3 nodes", k, reps)
+		}
+		if reps[0] != r.Owner(k) {
+			t.Fatalf("Replicas(%s)[0] = %s, owner is %s", k, reps[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range reps {
+			if seen[n] {
+				t.Fatalf("Replicas(%s) repeats node %s: %v", k, n, reps)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.Replicas("k", 1); len(got) != 1 || got[0] != r.Owner("k") {
+		t.Fatalf("Replicas(k, 1) = %v, want just the owner", got)
+	}
+	if NewRing(nil, 0).Replicas("k", 2) != nil {
+		t.Fatal("empty ring must have no replicas")
+	}
+}
+
+// TestRingGolden pins the hash placement itself. If this test breaks, the
+// ring function changed — which silently reshuffles ownership across a
+// mixed-version fleet mid-upgrade. Such a change needs a new domain tag
+// (faros-ring-v2) and a deliberate migration, not a quiet edit.
+func TestRingGolden(t *testing.T) {
+	r := NewRing([]string{"node-a", "node-b", "node-c"}, 0)
+	golden := map[string]string{
+		"": "node-c",
+		"sha256:0000000000000000000000000000000000000000000000000000000000000000": "node-b",
+		"sha256:4bf5122f344554c53bde2ebb8cd2b7e3d1600ad631c385a5d7cce23c7785459a": "node-c",
+		"deadbeef":  "node-a",
+		"spec-hash": "node-a",
+	}
+	for key, want := range golden {
+		if got := r.Owner(key); got != want {
+			t.Errorf("Owner(%q) = %s, want %s", key, got, want)
+		}
+	}
+}

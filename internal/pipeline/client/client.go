@@ -48,6 +48,10 @@ type Config struct {
 	// seed; determinism matters more than uniqueness here, and the
 	// half-delay floor keeps even identical streams spread out).
 	Seed uint64
+	// Headers is applied to every request. The cluster forwarder sets
+	// the X-Faros-Forwarded hop guard here so every call through a
+	// peer-directed client carries it.
+	Headers http.Header
 
 	// sleep overrides the backoff sleep (tests observe delays through
 	// it). The default waits on a timer or the context.
@@ -170,7 +174,12 @@ func retryableStatus(status int) bool {
 
 // do runs one request with the retry loop. body is re-sent verbatim on
 // every attempt. The response body bytes are returned for 2xx statuses.
+// A 201 (trace created) and 200 (trace dedup) are both success here.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	return c.doTyped(ctx, method, path, body, "application/json")
+}
+
+func (c *Client) doTyped(ctx context.Context, method, path string, body []byte, contentType string) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -191,7 +200,12 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 			return nil, err
 		}
 		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("Content-Type", contentType)
+		}
+		for k, vs := range c.cfg.Headers {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
 		}
 		resp, err := c.http.Do(req)
 		if err != nil {
@@ -291,6 +305,39 @@ func (c *Client) Job(ctx context.Context, id string) (*pipeline.JobView, error) 
 		return nil, fmt.Errorf("client: decoding job view: %w", err)
 	}
 	return &view, nil
+}
+
+// Result fetches a cached or stored result by its cache key. A miss
+// surfaces as a *StatusError with Status 404.
+func (c *Client) Result(ctx context.Context, hash string) (*pipeline.Result, error) {
+	respBody, err := c.do(ctx, http.MethodGet, "/results/"+hash, nil)
+	if err != nil {
+		return nil, err
+	}
+	var res pipeline.Result
+	if err := json.Unmarshal(respBody, &res); err != nil {
+		return nil, fmt.Errorf("client: decoding result: %w", err)
+	}
+	return &res, nil
+}
+
+// PutTrace uploads an encoded trace (the internal/trace wire format) via
+// POST /traces, retrying through back-pressure. Uploads are idempotent
+// by content digest: created=false means the server already stored an
+// identical trace.
+func (c *Client) PutTrace(ctx context.Context, data []byte) (digest string, created bool, err error) {
+	respBody, err := c.doTyped(ctx, http.MethodPost, "/traces", data, "application/octet-stream")
+	if err != nil {
+		return "", false, err
+	}
+	var out struct {
+		Digest  string `json:"digest"`
+		Created bool   `json:"created"`
+	}
+	if err := json.Unmarshal(respBody, &out); err != nil {
+		return "", false, fmt.Errorf("client: decoding trace upload: %w", err)
+	}
+	return out.Digest, out.Created, nil
 }
 
 // Scenarios lists the server's scenario namespace.

@@ -272,3 +272,54 @@ func TestScenarios(t *testing.T) {
 		t.Fatalf("Scenarios = %v, %v", names, err)
 	}
 }
+
+// TestHeadersAppliedEveryRequest: configured headers (the cluster's hop
+// guard) ride on every request, including retries and raw uploads.
+func TestHeadersAppliedEveryRequest(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get(pipeline.ForwardedHeader); got != "node-a" {
+			t.Errorf("%s %s: hop header %q, want node-a", r.Method, r.URL.Path, got)
+		}
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		switch r.URL.Path {
+		case "/traces":
+			if ct := r.Header.Get("Content-Type"); ct != "application/octet-stream" {
+				t.Errorf("trace upload content type %q", ct)
+			}
+			json.NewEncoder(w).Encode(map[string]any{"digest": "d1", "created": true})
+		default:
+			okView(w)
+		}
+	}))
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv.URL, Config{Headers: http.Header{pipeline.ForwardedHeader: []string{"node-a"}}})
+	if _, err := c.Job(context.Background(), "j1"); err != nil {
+		t.Fatal(err) // first call 503s then retries; header must ride both
+	}
+	digest, created, err := c.PutTrace(context.Background(), []byte("raw-trace"))
+	if err != nil || digest != "d1" || !created {
+		t.Fatalf("PutTrace = %q %v %v", digest, created, err)
+	}
+}
+
+// TestResultNotFound: GET /results/{hash} misses surface as a typed
+// *StatusError so the cluster walk can keep trying replicas.
+func TestResultNotFound(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "no cached result"})
+	}))
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv.URL, Config{})
+	_, err := c.Result(context.Background(), "beef")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusNotFound {
+		t.Fatalf("want StatusError{404}, got %v", err)
+	}
+}

@@ -1,0 +1,331 @@
+package pipeline_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"faros/internal/pipeline"
+)
+
+// fakeForwarder scripts the cluster seam: one fixed owner for every key,
+// scriptable peer calls, and call counters. It lets the HTTP tests pin
+// the forwarding contract without real peers.
+type fakeForwarder struct {
+	owner string // "" = self owns everything
+	up    bool
+
+	analyze func(ctx context.Context, node string, req pipeline.AnalyzeRequest) (*pipeline.JobView, error)
+	result  func(ctx context.Context, node, hash string) (*pipeline.Result, error)
+	walk    []string
+
+	analyzeCalls atomic.Int64
+	resultCalls  atomic.Int64
+	traceCalls   atomic.Int64
+}
+
+func (f *fakeForwarder) NodeID() string { return "self" }
+
+func (f *fakeForwarder) Owner(key string) (string, bool, bool) {
+	if f.owner == "" {
+		return "self", true, true
+	}
+	return f.owner, false, f.up
+}
+
+func (f *fakeForwarder) WalkUp(key string) []string { return f.walk }
+
+func (f *fakeForwarder) AnalyzePeer(ctx context.Context, node string, req pipeline.AnalyzeRequest) (*pipeline.JobView, error) {
+	f.analyzeCalls.Add(1)
+	if f.analyze == nil {
+		panic("unexpected AnalyzePeer")
+	}
+	return f.analyze(ctx, node, req)
+}
+
+func (f *fakeForwarder) ResultPeer(ctx context.Context, node, hash string) (*pipeline.Result, error) {
+	f.resultCalls.Add(1)
+	if f.result == nil {
+		panic("unexpected ResultPeer")
+	}
+	return f.result(ctx, node, hash)
+}
+
+func (f *fakeForwarder) TracePeer(ctx context.Context, node string, data []byte) (string, error) {
+	f.traceCalls.Add(1)
+	return "", fmt.Errorf("unexpected TracePeer")
+}
+
+func (f *fakeForwarder) PeerHealth() []pipeline.PeerHealth {
+	return []pipeline.PeerHealth{
+		{Node: "b", URL: "http://b", Up: f.up},
+		{Node: "c", URL: "http://c", Up: false, LastError: "connection refused"},
+	}
+}
+
+// ownerView runs the request on a plain single-node server and returns
+// the settled view — the canned answer a real owning peer would produce
+// (same code, same cache key).
+func ownerView(t *testing.T, body string) pipeline.JobView {
+	t.Helper()
+	srv, _ := newTestServer(t, pipeline.Config{Workers: 2})
+	resp, view := postAnalyze(t, srv, body)
+	if resp.StatusCode != http.StatusOK || view.State != pipeline.StateDone {
+		t.Fatalf("owner run: status %d view %+v", resp.StatusCode, view)
+	}
+	return view
+}
+
+// TestForwardAnalyze pins the happy path: a non-owned submission forwards
+// to the owner, the answer is relayed with 200 and backfilled, and the
+// repeat submission is a purely local cache hit.
+func TestForwardAnalyze(t *testing.T) {
+	body := `{"scenario": "reflective_dll_inject", "wait": true}`
+	canned := ownerView(t, body)
+
+	fwd := &fakeForwarder{owner: "b", up: true}
+	fwd.analyze = func(_ context.Context, node string, req pipeline.AnalyzeRequest) (*pipeline.JobView, error) {
+		if node != "b" {
+			t.Errorf("forwarded to %q, want b", node)
+		}
+		if !req.Wait {
+			t.Error("forwarded analyze must wait server-side")
+		}
+		return &canned, nil
+	}
+	srv, p := newTestServer(t, pipeline.Config{Workers: 2, Cluster: fwd, NodeID: "self"})
+
+	resp, view := postAnalyze(t, srv, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if view.Result == nil || view.Result.Hash != canned.Result.Hash {
+		t.Fatalf("relayed view %+v, want the owner's result", view)
+	}
+	st := p.Stats()
+	if st.Cluster.ForwardedOut != 1 || st.Cluster.Backfills != 1 {
+		t.Fatalf("forwarded_out=%d backfills=%d, want 1/1", st.Cluster.ForwardedOut, st.Cluster.Backfills)
+	}
+
+	// The backfilled result now serves locally by hash...
+	r, err := http.Get(srv.URL + "/results/" + canned.Result.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("backfilled result GET: %d", r.StatusCode)
+	}
+	// ...and the repeat submission never leaves the node.
+	resp2, view2 := postAnalyze(t, srv, body)
+	if resp2.StatusCode != http.StatusOK || view2.Result == nil {
+		t.Fatalf("repeat: status %d view %+v", resp2.StatusCode, view2)
+	}
+	if got := fwd.analyzeCalls.Load(); got != 1 {
+		t.Fatalf("repeat submission forwarded again (%d calls)", got)
+	}
+}
+
+// TestForwardAnalyzeOwnerDown: a down owner degrades to local execution —
+// the job still succeeds and the degradation is counted.
+func TestForwardAnalyzeOwnerDown(t *testing.T) {
+	fwd := &fakeForwarder{owner: "b", up: false}
+	srv, p := newTestServer(t, pipeline.Config{Workers: 2, Cluster: fwd, NodeID: "self"})
+	resp, view := postAnalyze(t, srv, `{"scenario": "reflective_dll_inject", "wait": true}`)
+	if resp.StatusCode != http.StatusOK || view.State != pipeline.StateDone || view.Result == nil {
+		t.Fatalf("degraded local run failed: status %d view %+v", resp.StatusCode, view)
+	}
+	if got := p.Stats().Cluster.OwnerDownLocalRuns; got != 1 {
+		t.Fatalf("owner_down_local_runs = %d, want 1", got)
+	}
+	if fwd.analyzeCalls.Load() != 0 {
+		t.Fatal("must not call a down owner")
+	}
+}
+
+// TestForwardAnalyzePeerFailure: an up owner whose forward fails in
+// transport also degrades to local execution.
+func TestForwardAnalyzePeerFailure(t *testing.T) {
+	fwd := &fakeForwarder{owner: "b", up: true}
+	fwd.analyze = func(context.Context, string, pipeline.AnalyzeRequest) (*pipeline.JobView, error) {
+		return nil, fmt.Errorf("connection reset by peer")
+	}
+	srv, p := newTestServer(t, pipeline.Config{Workers: 2, Cluster: fwd, NodeID: "self"})
+	resp, view := postAnalyze(t, srv, `{"scenario": "reflective_dll_inject", "wait": true}`)
+	if resp.StatusCode != http.StatusOK || view.State != pipeline.StateDone {
+		t.Fatalf("status %d view %+v", resp.StatusCode, view)
+	}
+	if got := p.Stats().Cluster.OwnerDownLocalRuns; got != 1 {
+		t.Fatalf("owner_down_local_runs = %d, want 1", got)
+	}
+}
+
+// TestForwardAnalyzeRelay: deterministic peer rejections (400/409/422)
+// relay as-is; they would fail identically here.
+func TestForwardAnalyzeRelay(t *testing.T) {
+	fwd := &fakeForwarder{owner: "b", up: true}
+	fwd.analyze = func(context.Context, string, pipeline.AnalyzeRequest) (*pipeline.JobView, error) {
+		return nil, &pipeline.ForwardError{Node: "b", Status: http.StatusConflict, Msg: "spec hash mismatch"}
+	}
+	srv, p := newTestServer(t, pipeline.Config{Workers: 2, Cluster: fwd, NodeID: "self"})
+	resp, err := http.Post(srv.URL+"/analyze", "application/json",
+		strings.NewReader(`{"scenario": "reflective_dll_inject", "wait": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status %d, want 409 relayed", resp.StatusCode)
+	}
+	if got := p.Stats().Cluster.OwnerDownLocalRuns; got != 0 {
+		t.Fatalf("a relayed rejection must not count as owner-down (got %d)", got)
+	}
+}
+
+// TestForwardHopGuard: a request already carrying the hop header executes
+// locally no matter who owns the key — the loop terminates after one hop.
+func TestForwardHopGuard(t *testing.T) {
+	fwd := &fakeForwarder{owner: "b", up: true} // analyze nil: forwarding would panic
+	srv, p := newTestServer(t, pipeline.Config{Workers: 2, Cluster: fwd, NodeID: "self"})
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/analyze",
+		strings.NewReader(`{"scenario": "reflective_dll_inject", "wait": true}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(pipeline.ForwardedHeader, "b")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view pipeline.JobView
+	_ = json.NewDecoder(resp.Body).Decode(&view)
+	if resp.StatusCode != http.StatusOK || view.State != pipeline.StateDone {
+		t.Fatalf("forwarded request must run locally: status %d view %+v", resp.StatusCode, view)
+	}
+	st := p.Stats()
+	if st.Cluster.ForwardedIn != 1 || st.Cluster.ForwardedOut != 0 {
+		t.Fatalf("forwarded_in=%d forwarded_out=%d, want 1/0", st.Cluster.ForwardedIn, st.Cluster.ForwardedOut)
+	}
+}
+
+// TestResultsWalkFailover: a local /results miss walks the up peers in
+// ring order, serves the first hit, and backfills it.
+func TestResultsWalkFailover(t *testing.T) {
+	canned := ownerView(t, `{"scenario": "reflective_dll_inject", "wait": true}`)
+	hash := canned.Result.Hash
+
+	fwd := &fakeForwarder{owner: "b", up: true, walk: []string{"b", "c"}}
+	fwd.result = func(_ context.Context, node, h string) (*pipeline.Result, error) {
+		if node == "b" {
+			return nil, fmt.Errorf("connection refused") // first replica down mid-walk
+		}
+		if h != hash {
+			return nil, &pipeline.ForwardError{Node: node, Status: http.StatusNotFound, Msg: "no cached result"}
+		}
+		return canned.Result, nil
+	}
+	srv, p := newTestServer(t, pipeline.Config{Workers: 1, Cluster: fwd, NodeID: "self"})
+
+	resp, err := http.Get(srv.URL + "/results/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got pipeline.Result
+	_ = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || got.Hash != hash {
+		t.Fatalf("walk read: status %d hash %q", resp.StatusCode, got.Hash)
+	}
+	if fwd.resultCalls.Load() != 2 {
+		t.Fatalf("walk tried %d peers, want 2 (b fails, c serves)", fwd.resultCalls.Load())
+	}
+	if p.Stats().Cluster.Backfills != 1 {
+		t.Fatal("peer result must backfill")
+	}
+	// Second read is local: no new peer calls.
+	resp2, err := http.Get(srv.URL + "/results/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || fwd.resultCalls.Load() != 2 {
+		t.Fatalf("repeat read: status %d, peer calls %d", resp2.StatusCode, fwd.resultCalls.Load())
+	}
+
+	// A miss everywhere is a plain 404.
+	resp3, err := http.Get(srv.URL + "/results/" + strings.Repeat("0", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("miss: status %d", resp3.StatusCode)
+	}
+}
+
+// TestReadyzClusterFields: /readyz reports per-peer health but peers
+// never gate local readiness.
+func TestReadyzClusterFields(t *testing.T) {
+	fwd := &fakeForwarder{owner: "", up: true}
+	srv, _ := newTestServer(t, pipeline.Config{Workers: 1, Cluster: fwd, NodeID: "self"})
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("one peer down must not 503 readyz (got %d)", resp.StatusCode)
+	}
+	var rd pipeline.Readiness
+	if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+		t.Fatal(err)
+	}
+	if !rd.Ready || rd.Node != "self" || rd.PeersUp != 1 || rd.PeersDown != 1 || len(rd.Peers) != 2 {
+		t.Fatalf("readiness %+v", rd)
+	}
+}
+
+// TestClusterMetricsExposition: the cluster counters appear on /metrics
+// and /stats and in the human summary.
+func TestClusterMetricsExposition(t *testing.T) {
+	canned := ownerView(t, `{"scenario": "reflective_dll_inject", "wait": true}`)
+	fwd := &fakeForwarder{owner: "b", up: true}
+	fwd.analyze = func(context.Context, string, pipeline.AnalyzeRequest) (*pipeline.JobView, error) {
+		return &canned, nil
+	}
+	srv, p := newTestServer(t, pipeline.Config{Workers: 1, Cluster: fwd, NodeID: "self"})
+	if resp, _ := postAnalyze(t, srv, `{"scenario": "reflective_dll_inject", "wait": true}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded analyze: %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		`faros_cluster_forwarded_total{direction="out"} 1`,
+		`faros_cluster_forwarded_total{direction="in"} 0`,
+		"faros_cluster_backfill_total 1",
+		"faros_cluster_owner_down_local_runs_total 0",
+		`faros_cluster_peer_up{peer="b"} 1`,
+		`faros_cluster_peer_up{peer="c"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	st := p.Stats()
+	if !st.ClusterEnabled || st.ClusterNode != "self" {
+		t.Fatalf("stats cluster gauges: %+v", st)
+	}
+	if !strings.Contains(st.String(), "cluster: node self") {
+		t.Fatalf("Stats.String() lacks the cluster line:\n%s", st.String())
+	}
+}

@@ -252,8 +252,73 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 		writeJSON(w, status, map[string]string{"error": msg})
 	}
 
+	// forwardAnalyze routes a non-owned submission to its owning peer.
+	// The local memory cache and persistent store are consulted first (a
+	// hit never leaves the node), the forward always waits server-side
+	// (owner-side job IDs are not resolvable here, so the entry node
+	// returns the settled view), and a successful answer is backfilled
+	// into the local cache/store so repeat submissions and result reads
+	// become local hits. A down or failing owner degrades to local
+	// execution — the analysis is deterministic on every node, so only
+	// cache locality is lost, never correctness. Returns true when the
+	// response has been written; false means "run the local path".
+	forwardAnalyze := func(w http.ResponseWriter, r *http.Request, req AnalyzeRequest, preq Request, forwardedFrom string) bool {
+		cl := p.Cluster()
+		if cl == nil || forwardedFrom != "" {
+			return false // single-node, or the hop guard terminates the loop
+		}
+		key := ShardKey(preq)
+		if key == "" {
+			return false
+		}
+		node, self, up := cl.Owner(key)
+		if self {
+			return false
+		}
+		if job, ok := p.CachedJob(preq); ok {
+			view, _ := p.View(job.ID)
+			writeJSON(w, http.StatusOK, view)
+			return true
+		}
+		if up {
+			fwd := req
+			fwd.Wait = true
+			view, err := cl.AnalyzePeer(r.Context(), node, fwd)
+			if err == nil {
+				p.NoteForwardedOut()
+				if view.Result != nil && view.State == StateDone {
+					p.Backfill(view.Result)
+				}
+				writeJSON(w, http.StatusOK, view)
+				return true
+			}
+			var fe *ForwardError
+			if errors.As(err, &fe) {
+				if fe.relayable() {
+					// A deterministic rejection (400/409/422): the same
+					// request would fail identically here — relay it.
+					writeJSON(w, fe.Status, map[string]string{"error": fe.Msg})
+					return true
+				}
+				if fe.Status == http.StatusNotFound {
+					// Node-local state (an unreplicated trace, an evicted
+					// result): try locally without counting the owner down.
+					return false
+				}
+			}
+		}
+		p.NoteOwnerDownLocal()
+		return false
+	}
+
 	mux.HandleFunc("POST /analyze", func(w http.ResponseWriter, r *http.Request) {
-		if adm != nil {
+		forwardedFrom := r.Header.Get(ForwardedHeader)
+		if forwardedFrom != "" {
+			// Fleet-internal traffic: the origin node already admitted the
+			// client, so the per-client rate limit does not apply twice
+			// (queue-saturation shedding below still does).
+			p.NoteForwardedIn()
+		} else if adm != nil {
 			if ok, after := adm.allow(clientKey(r.RemoteAddr)); !ok {
 				p.NoteRateLimited()
 				writeRetryable(w, http.StatusTooManyRequests, after, "rate limit exceeded")
@@ -278,13 +343,18 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 					fmt.Sprintf("a trace selector implies mode %q, not %q", ModeTrace, req.Mode)})
 				return
 			}
+			preq.Mode = ModeTrace
+			preq.TraceDigest = req.Trace
+			// Routing happens before local validation: the owner holds
+			// the replicated trace even when this node never ingested it.
+			if forwardAnalyze(w, r, req, preq, forwardedFrom) {
+				return
+			}
 			spec, err := resolveTrace(p, cfg, req)
 			if err != nil {
 				writeErr(w, err)
 				return
 			}
-			preq.Mode = ModeTrace
-			preq.TraceDigest = req.Trace
 			preq.Spec = spec
 		} else {
 			switch req.Mode {
@@ -306,6 +376,9 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 				return
 			}
 			preq.Spec = spec
+			if forwardAnalyze(w, r, req, preq, forwardedFrom) {
+				return
+			}
 		}
 		var job *Job
 		if adm != nil && adm.shedding(p) {
@@ -384,6 +457,20 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 		}
 		if created {
 			p.NoteTraceIngested(len(data))
+		}
+		if forwardedFrom := r.Header.Get(ForwardedHeader); forwardedFrom != "" {
+			p.NoteForwardedIn()
+		} else if cl := p.Cluster(); cl != nil {
+			// Replicate the trace to its ring owner so trace-replay jobs
+			// routed there resolve it locally. A failed replication is
+			// non-fatal: the bytes are stored here, and an analyze for
+			// this digest degrades to local execution while the owner is
+			// unreachable.
+			if node, self, up := cl.Owner(digest); !self && up {
+				if _, err := cl.TracePeer(r.Context(), node, data); err == nil {
+					p.NoteForwardedOut()
+				}
+			}
 		}
 		info, _ := traces.Stat(digest)
 		status := http.StatusOK // dedup: already stored
@@ -506,8 +593,37 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 		writeErr(w, &httpError{http.StatusNotFound, "unknown job " + id})
 	})
 
+	// lookupResult answers a result read: local cache and persistent
+	// store first, then — for client-originated reads on a cluster node —
+	// the up peers in ring-walk order (owner first, replicas after). A
+	// peer hit is backfilled locally so the next read is a local hit. The
+	// hop guard keeps peer-originated reads strictly local.
+	lookupResult := func(r *http.Request, hash string) (*Result, bool) {
+		if res, ok := p.ResultByHash(hash); ok {
+			return res, true
+		}
+		cl := p.Cluster()
+		if cl == nil {
+			return nil, false
+		}
+		if r.Header.Get(ForwardedHeader) != "" {
+			p.NoteForwardedIn()
+			return nil, false
+		}
+		for _, node := range cl.WalkUp(hash) {
+			res, err := cl.ResultPeer(r.Context(), node, hash)
+			if err != nil {
+				continue
+			}
+			p.NoteForwardedOut()
+			p.Backfill(res)
+			return res, true
+		}
+		return nil, false
+	}
+
 	mux.HandleFunc("GET /results/{hash}", func(w http.ResponseWriter, r *http.Request) {
-		res, ok := p.ResultByHash(r.PathValue("hash"))
+		res, ok := lookupResult(r, r.PathValue("hash"))
 		if !ok {
 			writeErr(w, &httpError{http.StatusNotFound, "no cached result for " + r.PathValue("hash")})
 			return
@@ -516,7 +632,7 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 	})
 
 	mux.HandleFunc("GET /results/{hash}/prov", func(w http.ResponseWriter, r *http.Request) {
-		res, ok := p.ResultByHash(r.PathValue("hash"))
+		res, ok := lookupResult(r, r.PathValue("hash"))
 		if !ok {
 			writeErr(w, &httpError{http.StatusNotFound, "no cached result for " + r.PathValue("hash")})
 			return
@@ -586,6 +702,20 @@ func NewHandler(p *Pool, cfg ServerConfig) http.Handler {
 				rd.Store = "ok"
 			}
 		}
+		if cl := p.Cluster(); cl != nil {
+			rd.Node = cl.NodeID()
+			rd.Peers = cl.PeerHealth()
+			for _, ph := range rd.Peers {
+				if ph.Up {
+					rd.PeersUp++
+				} else {
+					rd.PeersDown++
+				}
+			}
+		}
+		// Peer health is reported but never gates readiness: a node with
+		// every peer down still serves correct answers by degrading to
+		// local execution, so only local conditions may return 503.
 		rd.Ready = !rd.Draining && !rd.Shedding && storeOK
 		status := http.StatusOK
 		if !rd.Ready {
@@ -606,4 +736,11 @@ type Readiness struct {
 	QueueSaturation float64 `json:"queue_saturation"`
 	// Store is "disabled", "ok", or "degraded: <last write error>".
 	Store string `json:"store"`
+	// Node and the peer fields appear in cluster mode. Peer health never
+	// flips Ready: a fully partitioned node degrades to local execution
+	// instead of leaving rotation.
+	Node      string       `json:"node,omitempty"`
+	PeersUp   int          `json:"peers_up,omitempty"`
+	PeersDown int          `json:"peers_down,omitempty"`
+	Peers     []PeerHealth `json:"peers,omitempty"`
 }

@@ -63,6 +63,19 @@ type counters struct {
 	prov                 ProvStats
 	trace                TraceStats
 	block                BlockStats
+	cluster              ClusterStats
+}
+
+// ClusterStats counts the cross-node surface: requests received from
+// peers (they carried the hop-guard header), requests this node
+// forwarded to their owner, peer results backfilled into the local
+// cache/store, and requests that degraded to local execution because
+// their owner was down.
+type ClusterStats struct {
+	ForwardedIn        uint64 `json:"forwarded_in"`
+	ForwardedOut       uint64 `json:"forwarded_out"`
+	Backfills          uint64 `json:"backfills"`
+	OwnerDownLocalRuns uint64 `json:"owner_down_local_runs"`
 }
 
 // TaintStats aggregates the taint engine's fast-path counters across
@@ -158,6 +171,9 @@ type snapshotGauges struct {
 	traces           store.Stats
 	triageEnabled    bool
 	triagePolicy     string
+	clusterEnabled   bool
+	clusterNode      string
+	clusterPeers     []PeerHealth
 	eventsPublished  uint64
 	eventsDropped    uint64
 	eventSubscribers int
@@ -226,6 +242,14 @@ type Stats struct {
 	FindingsByRisk map[string]uint64 `json:"findings_by_risk,omitempty"`
 	ResultsByRisk  map[string]uint64 `json:"results_by_risk,omitempty"`
 
+	// ClusterEnabled reports whether this node runs in cluster mode;
+	// ClusterNode is its node ID and ClusterPeers the probed health of
+	// every peer. Cluster holds the forwarding counters.
+	ClusterEnabled bool         `json:"cluster_enabled"`
+	ClusterNode    string       `json:"cluster_node,omitempty"`
+	ClusterPeers   []PeerHealth `json:"cluster_peers,omitempty"`
+	Cluster        ClusterStats `json:"cluster"`
+
 	// EventsPublished / EventsDropped are the live event hub's counters
 	// (drops are per-subscriber deliveries lost to slowness, never
 	// back-pressure); EventSubscribers the current GET /events consumers.
@@ -274,6 +298,10 @@ func (m *metrics) snapshot(g snapshotGauges) Stats {
 		Trace:                m.c.trace,
 		TriageEnabled:        g.triageEnabled,
 		TriagePolicy:         g.triagePolicy,
+		ClusterEnabled:       g.clusterEnabled,
+		ClusterNode:          g.clusterNode,
+		ClusterPeers:         g.clusterPeers,
+		Cluster:              m.c.cluster,
 		EventsPublished:      g.eventsPublished,
 		EventsDropped:        g.eventsDropped,
 		EventSubscribers:     g.eventSubscribers,
@@ -366,6 +394,18 @@ func (s Stats) String() string {
 			fmt.Fprintf(&sb, " %s=%d", risk, s.FindingsByRisk[risk])
 		}
 		sb.WriteByte('\n')
+	}
+	if s.ClusterEnabled {
+		up := 0
+		for _, p := range s.ClusterPeers {
+			if p.Up {
+				up++
+			}
+		}
+		fmt.Fprintf(&sb, "cluster: node %s, %d/%d peers up, %d forwarded out, %d in, %d backfills, %d owner-down local runs\n",
+			s.ClusterNode, up, len(s.ClusterPeers),
+			s.Cluster.ForwardedOut, s.Cluster.ForwardedIn,
+			s.Cluster.Backfills, s.Cluster.OwnerDownLocalRuns)
 	}
 	if s.EventsPublished > 0 || s.EventSubscribers > 0 {
 		fmt.Fprintf(&sb, "events: %d published, %d dropped, %d subscribers; ledger %d jobs (%d evicted)\n",
@@ -460,6 +500,21 @@ func (s Stats) Prometheus() string {
 	for _, risk := range []string{"low", "medium", "high"} {
 		if n, ok := s.ResultsByRisk[risk]; ok {
 			fmt.Fprintf(&sb, "faros_triage_results_total{risk=%q} %d\n", risk, n)
+		}
+	}
+	if s.ClusterEnabled {
+		fmt.Fprintf(&sb, "# HELP faros_cluster_forwarded_total Requests forwarded across the cluster, by direction.\n# TYPE faros_cluster_forwarded_total counter\n")
+		fmt.Fprintf(&sb, "faros_cluster_forwarded_total{direction=\"in\"} %d\n", s.Cluster.ForwardedIn)
+		fmt.Fprintf(&sb, "faros_cluster_forwarded_total{direction=\"out\"} %d\n", s.Cluster.ForwardedOut)
+		counter("faros_cluster_backfill_total", "Peer results backfilled into the local cache and store.", s.Cluster.Backfills)
+		counter("faros_cluster_owner_down_local_runs_total", "Requests degraded to local execution because their owner was down.", s.Cluster.OwnerDownLocalRuns)
+		fmt.Fprintf(&sb, "# HELP faros_cluster_peer_up Probed peer health (1 up, 0 down).\n# TYPE faros_cluster_peer_up gauge\n")
+		for _, p := range s.ClusterPeers {
+			v := 0
+			if p.Up {
+				v = 1
+			}
+			fmt.Fprintf(&sb, "faros_cluster_peer_up{peer=%q} %d\n", p.Node, v)
 		}
 	}
 	counter("faros_events_published_total", "Lifecycle events published to the live event hub.", s.EventsPublished)

@@ -263,6 +263,14 @@ type Config struct {
 	// LedgerJobs bounds how many job timelines the audit ledger retains
 	// (default 1024; oldest evicted whole).
 	LedgerJobs int
+	// NodeID identifies this process in cluster mode; it is stamped on
+	// every lifecycle event so a fleet-wide SSE consumer can tell which
+	// node originated each frame. Empty in single-node operation.
+	NodeID string
+	// Cluster is the ownership resolver and peer forwarder (nil =
+	// single-node; every request is served locally). The HTTP layer
+	// consults it to route non-owned shard keys to their owner.
+	Cluster Forwarder
 	// Runner overrides the analysis function (tests only).
 	Runner Runner
 }
@@ -653,6 +661,63 @@ func (p *Pool) StoreErr() error {
 // disabled). The HTTP layer serves the /traces endpoints through it.
 func (p *Pool) Traces() *trace.Store { return p.cfg.Traces }
 
+// Cluster returns the configured cluster forwarder (nil in single-node
+// operation).
+func (p *Pool) Cluster() Forwarder { return p.cfg.Cluster }
+
+// NodeID returns this node's cluster identity ("" single-node).
+func (p *Pool) NodeID() string { return p.cfg.NodeID }
+
+// NoteForwardedIn records a request received from a peer (it carried the
+// hop-guard header).
+func (p *Pool) NoteForwardedIn() {
+	p.metrics.add(func(m *counters) { m.cluster.ForwardedIn++ })
+}
+
+// NoteForwardedOut records a request this node forwarded to its owning
+// peer and got an answer for.
+func (p *Pool) NoteForwardedOut() {
+	p.metrics.add(func(m *counters) { m.cluster.ForwardedOut++ })
+}
+
+// NoteOwnerDownLocal records a request whose owner was down (or failed
+// mid-forward) and which degraded to local execution instead.
+func (p *Pool) NoteOwnerDownLocal() {
+	p.metrics.add(func(m *counters) { m.cluster.OwnerDownLocalRuns++ })
+}
+
+// Backfill inserts a peer-produced result into the local memory cache
+// and persistent store under its own cache key, so the next identical
+// submission or result read is answered locally instead of re-crossing
+// the cluster. Results are deterministic and content-addressed, so a
+// peer's copy is bit-identical to what a local run would produce.
+// Degraded, hashless, and already-cached results are skipped (false).
+func (p *Pool) Backfill(res *Result) bool {
+	if res == nil || res.Hash == "" || res.Degraded != "" {
+		return false
+	}
+	p.mu.Lock()
+	if p.closed || p.cfg.CacheCap < 0 {
+		p.mu.Unlock()
+		return false
+	}
+	if _, ok := p.lookupCacheLocked(res.Hash); ok {
+		p.mu.Unlock()
+		return false
+	}
+	var exp time.Time
+	if p.cfg.CacheTTL > 0 {
+		exp = time.Now().Add(p.cfg.CacheTTL)
+	}
+	p.storeLocked(res.Hash, res, exp)
+	p.mu.Unlock()
+	p.metrics.add(func(m *counters) { m.cluster.Backfills++ })
+	if p.cfg.Store != nil {
+		p.persist(res)
+	}
+	return true
+}
+
 // NoteTraceIngested records a successful trace upload (new store entry)
 // of n encoded bytes.
 func (p *Pool) NoteTraceIngested(n int) {
@@ -672,6 +737,7 @@ func (p *Pool) NoteTraceMismatch() {
 // never call back into the pool).
 func (p *Pool) emit(e triage.Event) {
 	e.Time = time.Now()
+	e.Node = p.cfg.NodeID
 	p.ledger.Append(p.hub.Publish(e))
 }
 
@@ -1280,6 +1346,11 @@ func (p *Pool) Stats() Stats {
 	if p.cfg.Triage != nil {
 		g.triageEnabled = true
 		g.triagePolicy = p.cfg.Triage.Hash()
+	}
+	if p.cfg.Cluster != nil {
+		g.clusterEnabled = true
+		g.clusterNode = p.cfg.Cluster.NodeID()
+		g.clusterPeers = p.cfg.Cluster.PeerHealth()
 	}
 	g.eventsPublished, g.eventsDropped, g.eventSubscribers = p.hub.Stats()
 	g.ledgerJobs, g.ledgerEvicted = p.ledger.Stats()

@@ -41,7 +41,11 @@ type Event struct {
 	Seq  uint64    `json:"seq"`
 	Time time.Time `json:"time"`
 	Type string    `json:"type"`
-	Job  string    `json:"job,omitempty"`
+	// Node is the ID of the cluster node that originated the event
+	// (empty in single-node operation) — a fleet-wide stream consumer
+	// can merge every node's /events and still attribute each frame.
+	Node string `json:"node,omitempty"`
+	Job  string `json:"job,omitempty"`
 	// Scenario and Hash identify the work (scenario name, cache key).
 	Scenario string `json:"scenario,omitempty"`
 	Hash     string `json:"hash,omitempty"`
